@@ -1,0 +1,39 @@
+# InstantCheck reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all test race bench table1 table2 figures everything cover fmt vet
+
+all: test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+table1:
+	$(GO) run ./cmd/instantcheck table1
+
+table2:
+	$(GO) run ./cmd/instantcheck table2
+
+figures:
+	$(GO) run ./cmd/instantcheck fig5
+	$(GO) run ./cmd/instantcheck fig6
+	$(GO) run ./cmd/instantcheck fig8
+
+everything:
+	$(GO) run ./cmd/instantcheck all
+
+cover:
+	$(GO) test -cover ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,95 @@
+package instantcheck
+
+import (
+	"instantcheck/internal/dreplay"
+	"instantcheck/internal/explore"
+	"instantcheck/internal/racefilter"
+	"instantcheck/internal/sim"
+)
+
+// The paper's §6 presents the fast state-comparison primitive as useful
+// beyond determinism checking. The three applications it outlines are
+// implemented here:
+//
+//   - §6.1 filtering out benign data races  (DetectRaces / ClassifyRaces)
+//   - §6.2 systematic testing with state-hash pruning  (Systematic)
+//   - §6.3 deterministic replay assisted by hash logs  (RecordReplayLog)
+
+// Systematic-testing application (§6.2).
+type (
+	// SystematicOptions configures schedule-tree exploration.
+	SystematicOptions = explore.Options
+	// SystematicResult reports coverage and pruning statistics.
+	SystematicResult = explore.Result
+)
+
+// Systematic enumerates a program's bounded schedule tree; with
+// Options.Prune set, subtrees rooted at already-visited quiescent states
+// (identified by checkpoint State Hashes) are cut — the state pruning the
+// paper proposes for CHESS-style testing.
+func Systematic(build func() sim.Program, o SystematicOptions) (*SystematicResult, error) {
+	return explore.Systematic(build, o)
+}
+
+// Deterministic-replay application (§6.3).
+type (
+	// ReplayLog is the state-hash portion of a partial execution log.
+	ReplayLog = dreplay.Log
+	// ReplayConfig describes the recorded program configuration.
+	ReplayConfig = dreplay.Config
+	// ReplayAttempt is one replay candidate's outcome.
+	ReplayAttempt = dreplay.Attempt
+	// ReplayResult summarizes a replay search.
+	ReplayResult = dreplay.Result
+)
+
+// RecordReplayLog executes the program once and returns the per-checkpoint
+// hash log of that original execution; candidate replays are then searched
+// with ReplayLog.Search, each cut off at its first mismatching checkpoint.
+func RecordReplayLog(build func() sim.Program, cfg ReplayConfig, seed int64) (*ReplayLog, error) {
+	return dreplay.Record(build, cfg, seed)
+}
+
+// Benign-race-filtering application (§6.1).
+type (
+	// Race is one detected happens-before data race.
+	Race = racefilter.Race
+	// RaceVerdict classifies one race as benign or harmful.
+	RaceVerdict = racefilter.Verdict
+	// RaceClassification is the overall filtering result.
+	RaceClassification = racefilter.Classification
+	// RaceConfig drives detection and classification runs.
+	RaceConfig = racefilter.Config
+	// RaceDetector is the vector-clock happens-before detector; attach it
+	// to a run via MachineConfig.Events.
+	RaceDetector = racefilter.Detector
+	// AccessKind distinguishes the racing access pair.
+	AccessKind = racefilter.AccessKind
+)
+
+// Race access-pair kinds.
+const (
+	// RaceWriteWrite is a write racing a previous write.
+	RaceWriteWrite = racefilter.WriteWrite
+	// RaceReadWrite is a write racing a previous read.
+	RaceReadWrite = racefilter.ReadWrite
+	// RaceWriteRead is a read racing a previous write.
+	RaceWriteRead = racefilter.WriteRead
+)
+
+// NewRaceDetector returns a vector-clock race detector for nt worker
+// threads.
+func NewRaceDetector(nt int) *RaceDetector { return racefilter.NewDetector(nt) }
+
+// DetectRaces runs the program under several schedules with the
+// happens-before detector attached and returns the union of races found.
+func DetectRaces(build func() sim.Program, cfg RaceConfig) ([]Race, error) {
+	return racefilter.Detect(build, cfg)
+}
+
+// ClassifyRaces detects races and classifies each benign or harmful by
+// comparing the final memory states of many schedules — the InstantCheck
+// state comparison that "already filters out benign races" (§6.1).
+func ClassifyRaces(build func() sim.Program, cfg RaceConfig) (*RaceClassification, error) {
+	return racefilter.Classify(build, cfg)
+}

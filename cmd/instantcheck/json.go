@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"instantcheck"
+)
+
+// The -json flag emits machine-readable experiment results for downstream
+// plotting. The shapes below are stable, flat projections of the library
+// types (the full reports contain per-run data that would bloat the
+// output).
+
+type table1JSON struct {
+	App              string `json:"app"`
+	Source           string `json:"source"`
+	FP               bool   `json:"fp"`
+	Class            string `json:"class"`
+	DetAsIs          bool   `json:"det_as_is"`
+	FirstNDetRun     int    `json:"first_ndet_run"`
+	FPImpact         string `json:"fp_rounding_impact"`
+	FirstNDetAfterFP int    `json:"first_ndet_run_after_fp"`
+	IsolationImpact  string `json:"isolation_impact"`
+	DetPoints        int    `json:"det_points"`
+	NDetPoints       int    `json:"ndet_points"`
+	DetAtEnd         bool   `json:"det_at_end"`
+	Note             string `json:"note,omitempty"`
+}
+
+type table2JSON struct {
+	App          string `json:"app"`
+	Bug          string `json:"bug"`
+	DetPoints    int    `json:"det_points"`
+	NDetPoints   int    `json:"ndet_points"`
+	FirstNDetRun int    `json:"first_ndet_run"`
+}
+
+type distJSON struct {
+	App    string `json:"app"`
+	Groups []struct {
+		Distribution []int `json:"distribution"`
+		Checkpoints  int   `json:"checkpoints"`
+	} `json:"groups"`
+}
+
+type overheadJSON struct {
+	App         string  `json:"app"`
+	NativeInstr uint64  `json:"native_instr"`
+	HWInc       float64 `json:"hw_inc"`
+	SWIncIdeal  float64 `json:"sw_inc_ideal"`
+	SWTrIdeal   float64 `json:"sw_tr_ideal"`
+}
+
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func table1ToJSON(rows []instantcheck.Table1Row) []table1JSON {
+	out := make([]table1JSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, table1JSON{
+			App: r.App, Source: r.Source, FP: r.FP, Class: r.Class.String(),
+			DetAsIs: r.DetAsIs, FirstNDetRun: r.FirstNDetRun,
+			FPImpact: r.FPImpact, FirstNDetAfterFP: r.FirstNDetAfterFP,
+			IsolationImpact: r.IsolationImpact,
+			DetPoints:       r.DetPoints, NDetPoints: r.NDetPoints,
+			DetAtEnd: r.DetAtEnd, Note: r.Note,
+		})
+	}
+	return out
+}
+
+func table2ToJSON(rows []instantcheck.Table2Row) []table2JSON {
+	out := make([]table2JSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, table2JSON{
+			App: r.App, Bug: r.Bug.String(),
+			DetPoints: r.DetPoints, NDetPoints: r.NDetPoints,
+			FirstNDetRun: r.FirstNDetRun,
+		})
+	}
+	return out
+}
+
+func distToJSON(ds []instantcheck.Distribution) []distJSON {
+	out := make([]distJSON, 0, len(ds))
+	for _, d := range ds {
+		j := distJSON{App: d.App}
+		for _, g := range d.Groups {
+			j.Groups = append(j.Groups, struct {
+				Distribution []int `json:"distribution"`
+				Checkpoints  int   `json:"checkpoints"`
+			}{g.Distribution, g.Checkpoints})
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+func overheadToJSON(rows []instantcheck.Overhead) []overheadJSON {
+	out := make([]overheadJSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, overheadJSON{
+			App: r.Program, NativeInstr: r.NativeInstr,
+			HWInc: r.HWInc, SWIncIdeal: r.SWIncIdeal, SWTrIdeal: r.SWTrIdeal,
+		})
+	}
+	return out
+}

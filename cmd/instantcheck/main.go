@@ -1,0 +1,238 @@
+// Command instantcheck drives the InstantCheck reproduction: it checks the
+// determinism of the paper's 17 evaluation workloads and regenerates the
+// evaluation tables and figures (MICRO 2010, §7).
+//
+// Usage:
+//
+//	instantcheck list                     # the 17 workloads
+//	instantcheck check <app> [flags]      # characterize one workload
+//	instantcheck table1 [flags]           # Table 1: determinism characteristics
+//	instantcheck table2 [flags]           # Table 2: seeded-bug detection
+//	instantcheck fig5   [flags]           # Figure 5: nondeterminism distributions
+//	instantcheck fig6   [flags]           # Figure 6: instruction-count overheads
+//	instantcheck fig8   [flags]           # Figure 8: seeded-bug distributions
+//	instantcheck all    [flags]           # everything above
+//
+// Flags: -runs N (default 30), -threads N (default 8), -small (reduced
+// inputs), -seed S, -input S.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"instantcheck"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	runs := fs.Int("runs", 30, "test runs per campaign")
+	threads := fs.Int("threads", 8, "worker threads per run")
+	small := fs.Bool("small", false, "reduced inputs (fast)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	seed := fs.Int64("seed", 0, "base schedule seed")
+	input := fs.Int64("input", 0, "input seed for replayed library calls")
+	args := os.Args[2:]
+	var target string
+	if cmd == "check" || cmd == "races" {
+		if len(args) == 0 {
+			fmt.Fprintf(os.Stderr, "usage: instantcheck %s <app> [flags]\n", cmd)
+			os.Exit(2)
+		}
+		target, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	cfg := instantcheck.ExperimentConfig{
+		Runs: *runs, Threads: *threads, Small: *small,
+		BaseSeed: *seed, InputSeed: *input,
+	}
+
+	var err error
+	switch cmd {
+	case "list":
+		err = list()
+	case "check":
+		err = check(target, cfg)
+	case "races":
+		err = races(target, cfg)
+	case "table1":
+		err = table1(cfg, *asJSON)
+	case "table2":
+		err = table2(cfg, *asJSON)
+	case "fig5":
+		err = fig5(cfg, *asJSON)
+	case "fig6":
+		err = fig6(cfg, *asJSON)
+	case "fig8":
+		err = fig8(cfg, *asJSON)
+	case "all":
+		for _, f := range []func(instantcheck.ExperimentConfig, bool) error{table1, table2, fig5, fig6, fig8} {
+			if err = f(cfg, *asJSON); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "instantcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: instantcheck <list|check <app>|races <app>|table1|table2|fig5|fig6|fig8|all> [-runs N] [-threads N] [-small] [-seed S] [-input S]`)
+}
+
+// races runs the §6.1 application: detect data races and classify each
+// benign or harmful by state comparison.
+func races(name string, cfg instantcheck.ExperimentConfig) error {
+	app := instantcheck.WorkloadByName(name)
+	if app == nil {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	cl, err := instantcheck.ClassifyRaces(app.Builder(instantcheck.WorkloadOptions{
+		Threads: cfg.Threads, Small: cfg.Small,
+	}), instantcheck.RaceConfig{
+		Threads: orDefault(cfg.Threads, 8), Runs: orDefault(cfg.Runs, 10),
+		BaseSeed: cfg.BaseSeed, InputSeed: cfg.InputSeed, RoundFP: app.UsesFP,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d races, %d benign, %d harmful (externally deterministic: %v)\n",
+		name, len(cl.Verdicts), cl.BenignCount(), len(cl.Verdicts)-cl.BenignCount(), cl.Deterministic)
+	for _, v := range cl.Verdicts {
+		verdict := "benign "
+		if !v.Benign {
+			verdict = "HARMFUL"
+		}
+		fmt.Printf("  %s %-11s %s+%d (threads %d/%d)\n",
+			verdict, v.Race.Kind, v.Race.Site, v.Race.Offset, v.Race.TidA, v.Race.TidB)
+	}
+	return nil
+}
+
+func list() error {
+	fmt.Printf("%-14s %-9s %-3s %-14s %s\n", "APP", "SOURCE", "FP", "CLASS", "NOTES")
+	for _, a := range instantcheck.Workloads() {
+		notes := ""
+		if a.HostsBug != instantcheck.BugNone {
+			notes = "hosts seeded bug: " + a.HostsBug.String()
+		}
+		if a.Name == "streamcluster" {
+			notes = "carries the real order-violation bug (use FixBug)"
+		}
+		fmt.Printf("%-14s %-9s %-3s %-14s %s\n", a.Name, a.Source, yn(a.UsesFP), a.ExpectedClass, notes)
+	}
+	return nil
+}
+
+func yn(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "N"
+}
+
+func check(name string, cfg instantcheck.ExperimentConfig) error {
+	start := time.Now()
+	row, err := instantcheck.Table1For(name, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(instantcheck.FormatTable1([]instantcheck.Table1Row{row}))
+	fmt.Printf("\nclass: %v   (%.1fs)\n", row.Class, time.Since(start).Seconds())
+	if ndet := row.Char.Best().NDetDistGroups(); len(ndet) > 0 {
+		fmt.Println("nondeterministic checkpoint distributions:")
+		fmt.Print(instantcheck.FormatDistributions([]instantcheck.Distribution{
+			{App: name, Groups: ndet},
+		}))
+	}
+	return nil
+}
+
+func table1(cfg instantcheck.ExperimentConfig, asJSON bool) error {
+	start := time.Now()
+	rows, err := instantcheck.Table1(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return emitJSON(table1ToJSON(rows))
+	}
+	fmt.Printf("Table 1: determinism characteristics (%d runs, %d threads)\n", orDefault(cfg.Runs, 30), orDefault(cfg.Threads, 8))
+	fmt.Print(instantcheck.FormatTable1(rows))
+	fmt.Printf("(%.1fs)\n", time.Since(start).Seconds())
+	return nil
+}
+
+func table2(cfg instantcheck.ExperimentConfig, asJSON bool) error {
+	rows, err := instantcheck.Table2(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return emitJSON(table2ToJSON(rows))
+	}
+	fmt.Println("Table 2: seeded-bug detection")
+	fmt.Print(instantcheck.FormatTable2(rows))
+	return nil
+}
+
+func fig5(cfg instantcheck.ExperimentConfig, asJSON bool) error {
+	ds, err := instantcheck.Figure5(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return emitJSON(distToJSON(ds))
+	}
+	fmt.Println("Figure 5: distribution of nondeterminism points")
+	fmt.Print(instantcheck.FormatDistributions(ds))
+	return nil
+}
+
+func fig6(cfg instantcheck.ExperimentConfig, asJSON bool) error {
+	rows, err := instantcheck.Figure6(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return emitJSON(overheadToJSON(rows))
+	}
+	fmt.Println("Figure 6: instructions executed, normalized to Native")
+	fmt.Print(instantcheck.FormatFigure6(rows))
+	return nil
+}
+
+func fig8(cfg instantcheck.ExperimentConfig, asJSON bool) error {
+	ds, err := instantcheck.Figure8(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return emitJSON(distToJSON(ds))
+	}
+	fmt.Println("Figure 8: seeded-bug nondeterminism distributions")
+	fmt.Print(instantcheck.FormatDistributions(ds))
+	return nil
+}
+
+func orDefault(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}

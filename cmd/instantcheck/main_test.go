@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+
+	"instantcheck"
+)
+
+// smallCfg keeps CLI end-to-end tests fast.
+var smallCfg = instantcheck.ExperimentConfig{Runs: 6, Threads: 4, Small: true}
+
+func TestListCommand(t *testing.T) {
+	if err := list(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCommand(t *testing.T) {
+	if err := check("volrend", smallCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := check("nosuchapp", smallCfg); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRacesCommand(t *testing.T) {
+	if err := races("volrend", smallCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := races("nosuchapp", smallCfg); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestTableAndFigureCommands(t *testing.T) {
+	for name, f := range map[string]func(instantcheck.ExperimentConfig, bool) error{
+		"table2": table2,
+		"fig5":   fig5,
+		"fig6":   fig6,
+		"fig8":   fig8,
+	} {
+		for _, asJSON := range []bool{false, true} {
+			if err := f(smallCfg, asJSON); err != nil {
+				t.Fatalf("%s (json=%v): %v", name, asJSON, err)
+			}
+		}
+	}
+}
+
+// TestTable1Command runs the full driver at test scale.
+func TestTable1Command(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := table1(smallCfg, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunOnDeterministicApp(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"fft", "-small", "-threads", "4", "-runs", "6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "deterministic") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunLocalizesSeededBug(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"radix", "-small", "-threads", "4", "-runs", "10", "-bug", "order"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "first divergence") || !strings.Contains(s, "differing words") {
+		t.Errorf("output: %s", s)
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing app accepted")
+	}
+	if err := run([]string{"nosuchapp"}, &out); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"radix", "-bug", "weird"}, &out); err == nil {
+		t.Error("unknown bug kind accepted")
+	}
+}

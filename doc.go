@@ -1,0 +1,34 @@
+// Package instantcheck is a from-scratch reproduction of "InstantCheck:
+// Checking the Determinism of Parallel Programs Using On-the-Fly
+// Incremental Hashing" (Nistor, Marinov, Torrellas — MICRO 2010).
+//
+// InstantCheck checks the *external determinism* of parallel programs
+// during testing: run the program many times for one input, distill the
+// memory state into a 64-bit hash at every checkpoint (each barrier and the
+// end of the run), and compare the hashes across runs. The hash is
+// maintained *incrementally* as the program writes memory — the
+// Bellare-Micciancio construction SH = ⊕ h(addr, value) over a mod-2^64
+// group — so it is instantly available at any checkpoint without traversing
+// memory.
+//
+// The package exposes:
+//
+//   - the checking API (Campaign, Check, Characterize): run a simulated
+//     parallel program N times under a randomized serializing scheduler and
+//     compare per-checkpoint state hashes;
+//   - the program-authoring API (Program, Thread, Machine): write workloads
+//     against a simulated shared memory with locks, barriers, condition
+//     variables, malloc/free, output, and replayed library calls;
+//   - the three hashing schemes of the paper (HWInc, SWInc, SWTr) and the
+//     §7.3 instruction-count overhead model;
+//   - the control of input nondeterminism (§5): malloc address replay,
+//     library-call record/replay, FP round-off policies, and ignore-sets
+//     that delete nondeterministic structures from the hash;
+//   - the state-diff bug-localization tool (§2.3);
+//   - the paper's 17 evaluation workloads and the drivers that regenerate
+//     Table 1, Table 2 and Figures 5, 6 and 8 (see Table1, Table2,
+//     Figure5, Figure6, Figure8).
+//
+// Quick start: see examples/quickstart, which checks the paper's Figure 1
+// program — internally nondeterministic, externally deterministic.
+package instantcheck

@@ -1,0 +1,59 @@
+// Command fprounding demonstrates the FP round-off unit (paper §3.1, §5):
+// ocean's relaxation grid is bit-by-bit deterministic, but its residual
+// reduces into one shared accumulator under a lock — additions land in
+// schedule order, and FP addition is not associative, so the residual's
+// low mantissa bits differ from run to run. Bit-by-bit comparison flags
+// ocean as highly nondeterministic; with values rounded before hashing it
+// is deterministic.
+//
+// The example compares the two rounding policies the paper offers expert
+// numerical programmers: flooring to N decimal digits (discarding small
+// absolute differences; N=3 is the paper default) and zeroing M mantissa
+// bits (discarding small relative differences).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"instantcheck"
+)
+
+func main() {
+	app := instantcheck.WorkloadByName("ocean")
+	opts := instantcheck.WorkloadOptions{}
+
+	check := func(label string, camp instantcheck.Campaign) {
+		rep, err := instantcheck.Check(camp, app.Builder(opts))
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "NONDETERMINISTIC"
+		if rep.Deterministic() {
+			verdict = "deterministic"
+		}
+		fmt.Printf("%-42s -> %-16s (%d/%d points ndet)\n", label, verdict, rep.NDetPoints, rep.Points())
+		if !rep.Deterministic() {
+			groups := rep.NDetDistGroups()
+			if len(groups) > 0 {
+				fmt.Printf("%45s first nondet distribution: %v over %d checkpoints\n",
+					"", groups[0].Distribution, groups[0].Checkpoints)
+			}
+		}
+	}
+
+	fmt.Println("ocean, 30 runs x 8 threads:")
+	check("bit-by-bit comparison", instantcheck.Campaign{})
+	check("floor to 0.001 (paper default)", instantcheck.Campaign{RoundFP: true})
+	check("floor to 6 decimal digits", instantcheck.Campaign{
+		RoundFP:  true,
+		Rounding: instantcheck.RoundFloorDecimal(6),
+	})
+	check("zero 24 mantissa bits (relative)", instantcheck.Campaign{
+		RoundFP:  true,
+		Rounding: instantcheck.RoundZeroMantissa(24),
+	})
+	fmt.Println()
+	fmt.Println("Only the comparison policy changes — the program always runs at")
+	fmt.Println("full precision; rounding happens in front of the hash unit.")
+}

@@ -1,0 +1,88 @@
+package instantcheck
+
+import (
+	"testing"
+)
+
+// TestPaperCheckpointCounts pins the headline Table 1 reproduction: at
+// full input scale, every workload produces the paper's number of dynamic
+// checking points (barrier episodes + end of run). A single run per app
+// suffices — checkpoint counts do not depend on the schedule for these
+// programs (streamcluster included: the bug changes values, not structure).
+//
+// Skipped in -short mode; it costs a few seconds.
+func TestPaperCheckpointCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale inputs; skipped in -short mode")
+	}
+	// Paper Table 1, columns 10+11 summed.
+	want := map[string]int{
+		"blackscholes":  101,
+		"fft":           13,
+		"lu":            68,
+		"radix":         12,
+		"streamcluster": 13002,
+		"swaptions":     2501,
+		"volrend":       6,
+		"fluidanimate":  41,
+		"ocean":         871,
+		"waterNS":       21,
+		"waterSP":       21,
+		"cholesky":      4,
+		"pbzip2":        1,
+		"sphinx3":       4265,
+		"barnes":        18,
+		"canneal":       64,
+		"radiosity":     19,
+	}
+	for _, app := range Workloads() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Check(Campaign{Runs: 1, Threads: 8, RoundFP: app.UsesFP},
+				app.Builder(WorkloadOptions{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rep.Points(); got != want[app.Name] {
+				t.Errorf("%d dynamic checking points, paper reports %d", got, want[app.Name])
+			}
+		})
+	}
+}
+
+// TestFullScaleSchemesAgree cross-validates the incremental and traversal
+// hashes at full input scale on a mixed selection of workloads (heap-heavy
+// barnes, scratch-heavy sphinx3's small variant excluded for time, FP
+// ocean, int radix).
+func TestFullScaleSchemesAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale inputs; skipped in -short mode")
+	}
+	for _, name := range []string{"radix", "ocean", "barnes", "cholesky"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			app := WorkloadByName(name)
+			inc, err := Check(Campaign{Runs: 1, Threads: 8, RoundFP: app.UsesFP, Scheme: HWInc},
+				app.Builder(WorkloadOptions{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := Check(Campaign{Runs: 1, Threads: 8, RoundFP: app.UsesFP, Scheme: SWTr},
+				app.Builder(WorkloadOptions{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := inc.Runs[0].SHVector(), tr.Runs[0].SHVector()
+			if len(a) != len(b) {
+				t.Fatalf("checkpoint counts differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("checkpoint %d: incremental %s != traversal %s", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}

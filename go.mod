@@ -1,0 +1,3 @@
+module instantcheck
+
+go 1.22

@@ -1,0 +1,56 @@
+package instantcheck
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeTB captures the guard's failure output.
+type fakeTB struct {
+	failed  bool
+	message string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.failed = true
+	f.message = strings.TrimSpace(sprintf(format, args...))
+}
+
+func sprintf(format string, args ...any) string {
+	return strings.TrimSpace(fmt.Sprintf(format, args...))
+}
+
+// TestAssertDeterministicPasses checks the guard is silent on a clean app.
+func TestAssertDeterministicPasses(t *testing.T) {
+	app := WorkloadByName("fft")
+	tb := &fakeTB{}
+	rep := AssertDeterministic(tb,
+		Campaign{Runs: 6, Threads: 4},
+		app.Builder(WorkloadOptions{Threads: 4, Small: true}))
+	if tb.failed {
+		t.Fatalf("guard fired on deterministic fft: %s", tb.message)
+	}
+	if rep == nil || !rep.Deterministic() {
+		t.Fatal("report missing")
+	}
+}
+
+// TestAssertDeterministicFails checks the guard fails with a localized
+// state-diff report on a nondeterministic app.
+func TestAssertDeterministicFails(t *testing.T) {
+	app := WorkloadByName("radiosity")
+	tb := &fakeTB{}
+	AssertDeterministic(tb,
+		Campaign{Runs: 8, Threads: 4},
+		app.Builder(WorkloadOptions{Threads: 4, Small: true}))
+	if !tb.failed {
+		t.Fatal("guard did not fire on radiosity")
+	}
+	for _, want := range []string{"NONDETERMINISTIC", "localized", "differing words", "site"} {
+		if !strings.Contains(tb.message, want) {
+			t.Errorf("guard report missing %q:\n%s", want, tb.message)
+		}
+	}
+}

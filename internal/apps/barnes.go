@@ -1,0 +1,360 @@
+package apps
+
+import (
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:          "barnes",
+		Source:        "splash2",
+		UsesFP:        true,
+		ExpectedClass: core.ClassNondeterministic,
+		Build: func(o Options) sim.Program {
+			p := &barnesProg{nt: o.threads(), bodies: 96, steps: 5}
+			if o.Small {
+				p.bodies, p.steps = 32, 2
+			}
+			return p
+		},
+	})
+}
+
+// Quadtree cell layout (KindWord block; geometry in fixed point so the
+// block kind stays uniform).
+const (
+	cellLoX   = 0
+	cellLoY   = 1
+	cellHiX   = 2 // lo + size, stored for fast walks
+	cellSizeW = 3 // edge length (fixed point)
+	cellLeaf  = 4
+	cellOcc   = 5
+	cellCount = 6 // order-dependent traversal counter (monopole weight)
+	cellComX  = 7 // center-of-mass accumulators (fixed point), updated
+	cellComY  = 8 // along every insertion path, as the original does
+	cellChild = 9 // 4 child pointers: quadrants (x-half + 2*y-half)
+	cellWords = 13
+
+	// fxScale converts positions in [0,1) to fixed point.
+	fxScale = 1 << 40
+)
+
+// barnesProg reproduces SPLASH-2's barnes: Barnes-Hut N-body simulation on
+// a 2-D domain with a quadtree. Every step the threads build a shared
+// quadtree by concurrent insertion under a tree lock: the per-cell
+// traversal counters and the addresses cells land at depend on insertion
+// order, so the tree, the multipole force approximations derived from it,
+// and therefore the body coordinates are all schedule-dependent. The
+// nondeterminism is real and persistent — barnes ends in different states
+// in different runs (Table 1: NDet group, 18 dynamic points, the 2 setup
+// barriers deterministic and the 16 later ones not; not deterministic at
+// the end). The paper notes a Java version of barnes was made
+// deterministic in DPJ; here, as there, the fix would be a deterministic
+// tree-build order.
+type barnesProg struct {
+	nt     int
+	bodies int
+	steps  int
+
+	posX, posY, velX, velY, accX, accY uint64 // per-body state
+	root                               uint64 // root cell pointer
+	bbox                               uint64 // bounding-box summary
+	plantFlag                          uint64 // per-step plant-done flags
+	nodeLock                           *sched.Mutex
+
+	initBar, loadBar                barrier
+	insertBar, forceBar, advanceBar barrier
+}
+
+func (p *barnesProg) Name() string { return "barnes" }
+
+func (p *barnesProg) Threads() int { return p.nt }
+
+func (p *barnesProg) Setup(t *sim.Thread) {
+	n := p.bodies
+	p.posX = t.AllocStatic("static:bn.posx", n, mem.KindFloat)
+	p.posY = t.AllocStatic("static:bn.posy", n, mem.KindFloat)
+	p.velX = t.AllocStatic("static:bn.velx", n, mem.KindFloat)
+	p.velY = t.AllocStatic("static:bn.vely", n, mem.KindFloat)
+	p.accX = t.AllocStatic("static:bn.accx", n, mem.KindFloat)
+	p.accY = t.AllocStatic("static:bn.accy", n, mem.KindFloat)
+	p.root = t.AllocStatic("static:bn.root", 1, mem.KindWord)
+	p.bbox = t.AllocStatic("static:bn.bbox", 4, mem.KindFloat)
+	p.plantFlag = t.AllocStatic("static:bn.plant", p.steps, mem.KindWord)
+	rng := newXorshift(41)
+	for i := 0; i < n; i++ {
+		t.StoreF(idx(p.posX, i), rng.unitFloat())
+		t.StoreF(idx(p.posY, i), rng.unitFloat())
+		t.StoreF(idx(p.velX, i), 0.01*(rng.unitFloat()-0.5))
+		t.StoreF(idx(p.velY, i), 0.01*(rng.unitFloat()-0.5))
+	}
+	p.nodeLock = t.Machine().NewMutex("bn.tree")
+	p.initBar = newBarrier(t, "bn.init")
+	p.loadBar = newBarrier(t, "bn.load")
+	p.insertBar = newBarrier(t, "bn.insert")
+	p.forceBar = newBarrier(t, "bn.force")
+	p.advanceBar = newBarrier(t, "bn.advance")
+}
+
+// newCell allocates a quadtree cell with corner (lox, loy) and edge size.
+func (p *barnesProg) newCell(t *sim.Thread, lox, loy, size uint64) uint64 {
+	c := t.Malloc("barnes.cell", cellWords, mem.KindWord)
+	t.Store(idx(c, cellLoX), lox)
+	t.Store(idx(c, cellLoY), loy)
+	t.Store(idx(c, cellHiX), lox+size)
+	t.Store(idx(c, cellSizeW), size)
+	t.Store(idx(c, cellLeaf), 1)
+	t.Store(idx(c, cellOcc), ^uint64(0))
+	return c
+}
+
+func (p *barnesProg) Worker(t *sim.Thread) {
+	tid := t.TID()
+	lo, hi := span(p.bodies, p.nt, tid)
+
+	// Setup: the two deterministic checking points of Table 1.
+	for i := lo; i < hi; i++ {
+		t.StoreF(idx(p.accX, i), 0)
+		t.StoreF(idx(p.accY, i), 0)
+	}
+	p.initBar.await(t)
+	if tid == 0 {
+		minX, maxX, minY, maxY := 1.0, 0.0, 1.0, 0.0
+		for i := 0; i < p.bodies; i++ {
+			x, y := t.LoadF(idx(p.posX, i)), t.LoadF(idx(p.posY, i))
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+		t.StoreF(idx(p.bbox, 0), minX)
+		t.StoreF(idx(p.bbox, 1), maxX)
+		t.StoreF(idx(p.bbox, 2), minY)
+		t.StoreF(idx(p.bbox, 3), maxY)
+	}
+	p.loadBar.await(t)
+
+	for step := 0; step < p.steps; step++ {
+		// Tree plant: thread 0 discards last step's tree and plants a
+		// fresh root; the hand-coded flag (not a checkpoint) orders the
+		// plant before the concurrent insertions.
+		if tid == 0 {
+			if old := t.Load(p.root); old != 0 {
+				p.freeTree(t, old)
+			}
+			t.Store(p.root, p.newCell(t, 0, 0, fxScale))
+			t.Store(idx(p.plantFlag, step), 1)
+		} else {
+			spinWaitFlag(t, idx(p.plantFlag, step))
+		}
+
+		// Phase 1: concurrent quadtree build. Each insertion is atomic
+		// under the tree lock, but the insertion ORDER is the schedule —
+		// and both the cells' traversal counters and the addresses the
+		// cells are allocated at depend on that order.
+		for i := lo; i < hi; i++ {
+			p.insert(t, i)
+		}
+		p.insertBar.await(t)
+
+		// Phase 2: forces from walking the (frozen) tree. Different
+		// counter/shape outcomes give different approximations.
+		for i := lo; i < hi; i++ {
+			ax, ay := p.forceOn(t, i)
+			t.StoreF(idx(p.accX, i), ax)
+			t.StoreF(idx(p.accY, i), ay)
+		}
+		p.forceBar.await(t)
+
+		// Phase 3: advance bodies (disjoint), reflecting at the walls.
+		for i := lo; i < hi; i++ {
+			p.advance(t, p.velX, p.posX, p.accX, i)
+			p.advance(t, p.velY, p.posY, p.accY, i)
+		}
+		p.advanceBar.await(t)
+	}
+}
+
+// advance integrates one coordinate of one body with damping and
+// reflecting walls.
+func (p *barnesProg) advance(t *sim.Thread, vel, pos, acc uint64, i int) {
+	v := 0.95*t.LoadF(idx(vel, i)) + 0.01*t.LoadF(idx(acc, i))
+	x := t.LoadF(idx(pos, i)) + 0.05*v
+	if x < 0 {
+		x = -x
+	}
+	if x >= 1 {
+		x = 1.999999 - x
+	}
+	if x < 0 || x >= 1 {
+		x = 0.5
+	}
+	t.Compute(8)
+	t.StoreF(idx(vel, i), v)
+	t.StoreF(idx(pos, i), x)
+}
+
+// quadrant returns the child index for fixed-point position (x, y) in a
+// cell with corner (lox, loy) and edge size.
+func quadrant(x, y, lox, loy, size uint64) int {
+	q := 0
+	if x >= lox+size/2 {
+		q |= 1
+	}
+	if y >= loy+size/2 {
+		q |= 2
+	}
+	return q
+}
+
+// childCorner returns child q's corner for a cell at (lox, loy) with edge
+// size.
+func childCorner(q int, lox, loy, size uint64) (uint64, uint64) {
+	half := size / 2
+	cx, cy := lox, loy
+	if q&1 != 0 {
+		cx += half
+	}
+	if q&2 != 0 {
+		cy += half
+	}
+	return cx, cy
+}
+
+// insert adds body i to the quadtree, splitting leaves as needed. The
+// whole operation holds the tree lock (the original locks per cell; one
+// lock keeps the kernel simple without changing the order-dependence).
+func (p *barnesProg) insert(t *sim.Thread, i int) {
+	x := uint64(t.LoadF(idx(p.posX, i)) * fxScale)
+	y := uint64(t.LoadF(idx(p.posY, i)) * fxScale)
+	t.Lock(p.nodeLock)
+	cur := t.Load(p.root)
+	for {
+		lox := t.Load(idx(cur, cellLoX))
+		loy := t.Load(idx(cur, cellLoY))
+		size := t.Load(idx(cur, cellSizeW))
+		if t.Load(idx(cur, cellLeaf)) == 1 {
+			occupant := t.Load(idx(cur, cellOcc))
+			if occupant == ^uint64(0) {
+				t.Store(idx(cur, cellOcc), uint64(i))
+				break
+			}
+			if size <= 2 {
+				// Fixed-point resolution exhausted (coincident bodies):
+				// coalesce rather than splitting forever.
+				t.Store(idx(cur, cellOcc), uint64(i))
+				break
+			}
+			// Split: push the occupant down, convert to internal, retry.
+			ox := uint64(t.LoadF(idx(p.posX, int(occupant))) * fxScale)
+			oy := uint64(t.LoadF(idx(p.posY, int(occupant))) * fxScale)
+			oq := quadrant(ox, oy, lox, loy, size)
+			cx, cy := childCorner(oq, lox, loy, size)
+			child := p.newCell(t, cx, cy, size/2)
+			t.Store(idx(child, cellOcc), occupant)
+			t.Compute(20) // bounds/COM updates along the split path
+			t.Store(idx(cur, cellLeaf), 0)
+			t.Store(idx(cur, cellOcc), ^uint64(0))
+			t.Store(idx(cur, cellChild+oq), child)
+			continue
+		}
+		// Internal: update the cell's mass count and center-of-mass
+		// accumulators — their values depend on how many bodies passed
+		// through after the cell was split, which depends on insertion
+		// order — and descend, materializing the child lazily.
+		t.Store(idx(cur, cellCount), t.Load(idx(cur, cellCount))+1)
+		t.Store(idx(cur, cellComX), t.Load(idx(cur, cellComX))+x)
+		t.Store(idx(cur, cellComY), t.Load(idx(cur, cellComY))+y)
+		q := quadrant(x, y, lox, loy, size)
+		child := t.Load(idx(cur, cellChild+q))
+		if child == 0 {
+			cx, cy := childCorner(q, lox, loy, size)
+			child = p.newCell(t, cx, cy, size/2)
+			t.Store(idx(cur, cellChild+q), child)
+		}
+		t.Compute(16) // descent arithmetic
+		cur = child
+	}
+	t.Unlock(p.nodeLock)
+}
+
+// forceOn walks the quadtree with the Barnes-Hut opening criterion, using
+// each internal cell's traversal counter as its monopole weight.
+func (p *barnesProg) forceOn(t *sim.Thread, i int) (ax, ay float64) {
+	x := t.LoadF(idx(p.posX, i))
+	y := t.LoadF(idx(p.posY, i))
+	stack := []uint64{t.Load(p.root)} // thread-private walk stack
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == 0 {
+			continue
+		}
+		if t.Load(idx(cur, cellLeaf)) == 1 {
+			occ := t.Load(idx(cur, cellOcc))
+			if occ != ^uint64(0) && int(occ) != i {
+				dx := t.LoadF(idx(p.posX, int(occ))) - x
+				dy := t.LoadF(idx(p.posY, int(occ))) - y
+				r2 := dx*dx + dy*dy + 0.01
+				ax += dx / r2
+				ay += dy / r2
+				t.Compute(30) // the pairwise kernel
+			}
+			continue
+		}
+		lox := float64(t.Load(idx(cur, cellLoX))) / fxScale
+		loy := float64(t.Load(idx(cur, cellLoY))) / fxScale
+		size := float64(t.Load(idx(cur, cellSizeW))) / fxScale
+		cx := lox + size/2
+		cy := loy + size/2
+		dx := cx - x
+		dy := cy - y
+		dist2 := dx*dx + dy*dy
+		if size*size < 0.64*dist2 {
+			// Far enough: monopole at the accumulated center of mass.
+			// Both the count and the COM are insertion-order-dependent,
+			// so the approximation — and the force — inherit the
+			// nondeterminism.
+			m := float64(t.Load(idx(cur, cellCount)))
+			if m > 0 {
+				comX := float64(t.Load(idx(cur, cellComX))) / fxScale / m
+				comY := float64(t.Load(idx(cur, cellComY))) / fxScale / m
+				dx, dy = comX-x, comY-y
+				dist2 = dx*dx + dy*dy
+			}
+			r2 := dist2 + 0.05
+			ax += m * dx / r2
+			ay += m * dy / r2
+			t.Compute(40) // multipole evaluation
+			continue
+		}
+		for q := 0; q < 4; q++ {
+			stack = append(stack, t.Load(idx(cur, cellChild+q)))
+		}
+	}
+	return ax, ay
+}
+
+// freeTree releases every node, erasing it from the hashed state.
+func (p *barnesProg) freeTree(t *sim.Thread, cur uint64) {
+	if cur == 0 {
+		return
+	}
+	if t.Load(idx(cur, cellLeaf)) == 0 {
+		for q := 0; q < 4; q++ {
+			p.freeTree(t, t.Load(idx(cur, cellChild+q)))
+		}
+	}
+	t.Free(cur)
+}

@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"math"
+
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:          "blackscholes",
+		Source:        "parsec",
+		UsesFP:        true,
+		ExpectedClass: core.ClassBitDeterministic,
+		Build: func(o Options) sim.Program {
+			p := &blackscholesProg{nt: o.threads(), options: 256, passes: 100}
+			if o.Small {
+				p.options, p.passes = 64, 8
+			}
+			return p
+		},
+	})
+}
+
+// blackscholesProg reproduces PARSEC's blackscholes: each simulation pass
+// prices a portfolio of European options with the Black-Scholes closed
+// form. Threads own disjoint option slices and every price is a pure
+// function of the option's parameters, so despite heavy FP work the program
+// is bit-by-bit deterministic. Determinism is checked at the end of each
+// pass, matching the paper's per-iteration checks (Table 1: 101 points).
+type blackscholesProg struct {
+	nt      int
+	options int
+	passes  int
+
+	spot, strike, rate, vol, tte, price uint64
+	pass                                barrier
+}
+
+func (p *blackscholesProg) Name() string { return "blackscholes" }
+
+func (p *blackscholesProg) Threads() int { return p.nt }
+
+func (p *blackscholesProg) Setup(t *sim.Thread) {
+	n := p.options
+	p.spot = t.AllocStatic("static:bs.spot", n, mem.KindFloat)
+	p.strike = t.AllocStatic("static:bs.strike", n, mem.KindFloat)
+	p.rate = t.AllocStatic("static:bs.rate", n, mem.KindFloat)
+	p.vol = t.AllocStatic("static:bs.vol", n, mem.KindFloat)
+	p.tte = t.AllocStatic("static:bs.tte", n, mem.KindFloat)
+	p.price = t.AllocStatic("static:bs.price", n, mem.KindFloat)
+	rng := newXorshift(42)
+	for i := 0; i < n; i++ {
+		t.StoreF(idx(p.spot, i), 20+80*rng.unitFloat())
+		t.StoreF(idx(p.strike, i), 20+80*rng.unitFloat())
+		t.StoreF(idx(p.rate, i), 0.01+0.09*rng.unitFloat())
+		t.StoreF(idx(p.vol, i), 0.05+0.55*rng.unitFloat())
+		t.StoreF(idx(p.tte, i), 0.1+1.9*rng.unitFloat())
+	}
+	p.pass = newBarrier(t, "bs.pass")
+}
+
+func (p *blackscholesProg) Worker(t *sim.Thread) {
+	lo, hi := span(p.options, p.nt, t.TID())
+	for pass := 0; pass < p.passes; pass++ {
+		// Each pass perturbs the rate the way PARSEC's NUM_RUNS loop
+		// reprices the same portfolio; the perturbation is a pure function
+		// of the pass index so every run computes identical prices.
+		bump := 1 + 0.001*float64(pass)
+		for i := lo; i < hi; i++ {
+			s := t.LoadF(idx(p.spot, i))
+			k := t.LoadF(idx(p.strike, i))
+			r := t.LoadF(idx(p.rate, i)) * bump
+			v := t.LoadF(idx(p.vol, i))
+			tt := t.LoadF(idx(p.tte, i))
+			// Charge the CNDF evaluations and exp/log work the closed
+			// form performs per option.
+			t.Compute(180)
+			t.StoreF(idx(p.price, i), blackScholesCall(s, k, r, v, tt))
+		}
+		p.pass.await(t)
+	}
+}
+
+// blackScholesCall is the closed-form call price.
+func blackScholesCall(s, k, r, v, tt float64) float64 {
+	sqrtT := math.Sqrt(tt)
+	d1 := (math.Log(s/k) + (r+v*v/2)*tt) / (v * sqrtT)
+	d2 := d1 - v*sqrtT
+	return s*cndf(d1) - k*math.Exp(-r*tt)*cndf(d2)
+}
+
+// cndf is the cumulative normal distribution function.
+func cndf(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}

@@ -1,0 +1,147 @@
+package apps
+
+import "sort"
+
+// The compression pipeline pbzip2 runs per block: a Burrows-Wheeler
+// transform, move-to-front coding, and run-length encoding — the core of
+// bzip2 (the original finishes with Huffman entropy coding, modeled here
+// as a per-word Compute charge). The transform operates on thread-private
+// working memory, as bzip2's work areas are, and is exactly invertible:
+// the kernel tests decode the program's actual output stream and compare
+// it with the input.
+
+// bwtEncode returns the Burrows-Wheeler transform of data and the index of
+// the original rotation.
+func bwtEncode(data []byte) (out []byte, primary int) {
+	n := len(data)
+	rot := make([]int, n)
+	for i := range rot {
+		rot[i] = i
+	}
+	sort.Slice(rot, func(a, b int) bool {
+		ra, rb := rot[a], rot[b]
+		for k := 0; k < n; k++ {
+			ca := data[(ra+k)%n]
+			cb := data[(rb+k)%n]
+			if ca != cb {
+				return ca < cb
+			}
+		}
+		return ra < rb // total order for identical rotations
+	})
+	out = make([]byte, n)
+	for i, r := range rot {
+		out[i] = data[(r+n-1)%n]
+		if r == 0 {
+			primary = i
+		}
+	}
+	return out, primary
+}
+
+// bwtDecode inverts the transform.
+func bwtDecode(last []byte, primary int) []byte {
+	n := len(last)
+	if n == 0 {
+		return nil
+	}
+	// Counting sort of the last column gives, for each position in the
+	// last column, its row in the (sorted) first column.
+	var counts [256]int
+	for _, c := range last {
+		counts[c]++
+	}
+	var starts [256]int
+	sum := 0
+	for c := 0; c < 256; c++ {
+		starts[c] = sum
+		sum += counts[c]
+	}
+	next := make([]int, n)
+	var seen [256]int
+	for i, c := range last {
+		next[starts[c]+seen[c]] = i
+		seen[c]++
+	}
+	out := make([]byte, n)
+	p := next[primary]
+	for i := 0; i < n; i++ {
+		out[i] = last[p]
+		p = next[p]
+	}
+	return out
+}
+
+// mtfEncode move-to-front codes data in place against a fresh alphabet.
+func mtfEncode(data []byte) []byte {
+	var alphabet [256]byte
+	for i := range alphabet {
+		alphabet[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for i, c := range data {
+		var j int
+		for alphabet[j] != c {
+			j++
+		}
+		out[i] = byte(j)
+		copy(alphabet[1:j+1], alphabet[:j])
+		alphabet[0] = c
+	}
+	return out
+}
+
+// mtfDecode inverts move-to-front coding.
+func mtfDecode(codes []byte) []byte {
+	var alphabet [256]byte
+	for i := range alphabet {
+		alphabet[i] = byte(i)
+	}
+	out := make([]byte, len(codes))
+	for i, j := range codes {
+		c := alphabet[j]
+		out[i] = c
+		copy(alphabet[1:int(j)+1], alphabet[:int(j)])
+		alphabet[0] = c
+	}
+	return out
+}
+
+// rleEncode run-length encodes as (count, value) pairs with count <= 255.
+func rleEncode(data []byte) []byte {
+	var out []byte
+	i := 0
+	for i < len(data) {
+		v := data[i]
+		run := 1
+		for i+run < len(data) && run < 255 && data[i+run] == v {
+			run++
+		}
+		out = append(out, byte(run), v)
+		i += run
+	}
+	return out
+}
+
+// rleDecode inverts rleEncode.
+func rleDecode(pairs []byte) []byte {
+	var out []byte
+	for i := 0; i+1 < len(pairs); i += 2 {
+		run := int(pairs[i])
+		for k := 0; k < run; k++ {
+			out = append(out, pairs[i+1])
+		}
+	}
+	return out
+}
+
+// blockCompress runs the full pipeline on one block.
+func blockCompress(data []byte) (payload []byte, primary int) {
+	bwt, primary := bwtEncode(data)
+	return rleEncode(mtfEncode(bwt)), primary
+}
+
+// blockDecompress inverts blockCompress.
+func blockDecompress(payload []byte, primary int) []byte {
+	return bwtDecode(mtfDecode(rleDecode(payload)), primary)
+}

@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBWTRoundTrip property-checks the Burrows-Wheeler transform inverts.
+func TestBWTRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, int(n)%100+1)
+		for i := range data {
+			data[i] = byte(rng.Intn(8)) // small alphabet: many ties
+		}
+		enc, primary := bwtEncode(data)
+		return bytes.Equal(bwtDecode(enc, primary), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBWTKnownVector pins a classic example.
+func TestBWTKnownVector(t *testing.T) {
+	enc, primary := bwtEncode([]byte("banana"))
+	if got := bwtDecode(enc, primary); string(got) != "banana" {
+		t.Errorf("round trip gave %q", got)
+	}
+	// BWT groups equal characters: "banana" has a run of n's and a's.
+	runs := 0
+	for i := 1; i < len(enc); i++ {
+		if enc[i] == enc[i-1] {
+			runs++
+		}
+	}
+	if runs < 2 {
+		t.Errorf("BWT(banana) = %q has too few adjacent repeats", enc)
+	}
+}
+
+// TestMTFRoundTrip property-checks move-to-front inverts.
+func TestMTFRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 300 {
+			data = data[:300]
+		}
+		return bytes.Equal(mtfDecode(mtfEncode(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRLERoundTrip property-checks run-length coding inverts, including
+// runs longer than the 255 cap.
+func TestRLERoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var data []byte
+		for len(data) < 400 {
+			run := rng.Intn(300) + 1
+			v := byte(rng.Intn(4))
+			for k := 0; k < run; k++ {
+				data = append(data, v)
+			}
+		}
+		return bytes.Equal(rleDecode(rleEncode(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPipelineRoundTrip property-checks the full compressor.
+func TestPipelineRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, int(n)%64+1)
+		for i := range data {
+			data[i] = byte(rng.Intn(6))
+		}
+		payload, primary := blockCompress(data)
+		return bytes.Equal(blockDecompress(payload, primary), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPipelineCompresses checks redundant input actually shrinks.
+func TestPipelineCompresses(t *testing.T) {
+	data := bytes.Repeat([]byte{1, 1, 1, 1, 2, 2, 2, 2}, 16)
+	payload, _ := blockCompress(data)
+	if len(payload) >= len(data) {
+		t.Errorf("redundant input grew: %d -> %d bytes", len(data), len(payload))
+	}
+}

@@ -1,0 +1,220 @@
+package apps
+
+import (
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:          "cholesky",
+		Source:        "splash2",
+		UsesFP:        true,
+		ExpectedClass: core.ClassStructDeterministic,
+		Ignore: func() *sim.IgnoreSet {
+			// The nondeterministic structure Table 1 isolates: the
+			// free-task node pool (linkage and stale payloads differ from
+			// run to run) and the per-thread free-list heads.
+			return sim.NewIgnoreSet(
+				sim.IgnoreRule{Site: "cholesky.taskNode"},
+				sim.IgnoreRule{Site: "static:ch.freeHeads"},
+			)
+		},
+		Build: func(o Options) sim.Program {
+			p := &choleskyProg{nt: o.threads(), n: 40, rawAlloc: o.RawCustomAlloc}
+			if o.Small {
+				p.n = 16
+			}
+			return p
+		},
+	})
+}
+
+const taskNodeWords = 4 // {nextPtr, fromColumn, toColumn, owner}
+
+// choleskyProg reproduces SPLASH-2's cholesky: task-queue-driven
+// right-looking factorization. Threads pull column tasks from a shared
+// queue; when a column finalizes, its owner scatters that column's update
+// into every later column under per-column locks, so each column receives
+// its updates in schedule-dependent order — racy-order FP that needs
+// rounding. Update descriptors are recycled through per-thread
+// singly-linked free lists whose linkage, length and stale payloads are
+// schedule-dependent — the nondeterministic data structure of §7.2 (field
+// freeTask). The paper reports cholesky deterministic only after both FP
+// rounding and deleting the free-list structure from the hash (Table 1:
+// 4 points — 3 barriers + end).
+//
+// cholesky's third nondeterminism source is its custom memory allocator.
+// The paper assumes the programmer ignores it by calling malloc inside the
+// custom allocator; Options.RawCustomAlloc restores the original behavior
+// (a shared pool handed out in schedule order), which stays
+// nondeterministic even with the ignore set applied.
+type choleskyProg struct {
+	nt       int
+	n        int
+	rawAlloc bool
+
+	a         uint64 // n×n matrix (dense stand-in for the sparse frontal work)
+	queue     uint64 // shared task cursor
+	updCount  uint64 // per-column count of applied updates
+	done      uint64 // per-column finalized flags
+	freeHeads uint64 // per-thread free-list head pointers
+	pool      uint64 // raw custom-allocator pool (RawCustomAlloc only)
+	poolNext  uint64 // raw pool cursor
+	poolCap   int
+
+	queueLock *sched.Mutex
+	poolLock  *sched.Mutex
+	colLocks  []*sched.Mutex
+
+	ready, factored, solved barrier
+}
+
+func (p *choleskyProg) Name() string { return "cholesky" }
+
+func (p *choleskyProg) Threads() int { return p.nt }
+
+func (p *choleskyProg) at(i, j int) uint64 { return idx(p.a, i*p.n+j) }
+
+func (p *choleskyProg) Setup(t *sim.Thread) {
+	n := p.n
+	p.a = t.AllocStatic("static:ch.a", n*n, mem.KindFloat)
+	p.queue = t.AllocStatic("static:ch.queue", 1, mem.KindWord)
+	p.updCount = t.AllocStatic("static:ch.updCount", n, mem.KindWord)
+	p.done = t.AllocStatic("static:ch.done", n, mem.KindWord)
+	p.freeHeads = t.AllocStatic("static:ch.freeHeads", p.nt, mem.KindWord)
+	if p.rawAlloc {
+		p.poolCap = (p.nt + 1) * n
+		p.pool = t.AllocStatic("static:ch.pool", p.poolCap*taskNodeWords, mem.KindWord)
+		p.poolNext = t.AllocStatic("static:ch.poolNext", 1, mem.KindWord)
+	}
+	rng := newXorshift(13)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.unitFloat() - 0.5
+			if i == j {
+				v = float64(n) + rng.unitFloat()
+			}
+			t.StoreF(p.at(i, j), v)
+			if i != j {
+				t.StoreF(p.at(j, i), v)
+			}
+		}
+	}
+	p.queueLock = t.Machine().NewMutex("ch.queue")
+	p.poolLock = t.Machine().NewMutex("ch.pool")
+	p.colLocks = make([]*sched.Mutex, n)
+	for i := range p.colLocks {
+		p.colLocks[i] = t.Machine().NewMutex("ch.col")
+	}
+	p.ready = newBarrier(t, "ch.ready")
+	p.factored = newBarrier(t, "ch.factored")
+	p.solved = newBarrier(t, "ch.solved")
+}
+
+// allocNode returns an update-descriptor address: from the thread's free
+// list if possible, otherwise from malloc (fixed by replay) or from the
+// racy custom pool, depending on configuration.
+func (p *choleskyProg) allocNode(t *sim.Thread) uint64 {
+	head := t.Load(idx(p.freeHeads, t.TID()))
+	if head != 0 {
+		next := t.Load(head) // node.next
+		t.Store(idx(p.freeHeads, t.TID()), next)
+		return head
+	}
+	if !p.rawAlloc {
+		return t.Malloc("cholesky.taskNode", taskNodeWords, mem.KindWord)
+	}
+	// The original custom allocator: a shared pool handed out in request
+	// order, which is schedule order — nondeterministic addresses.
+	t.Lock(p.poolLock)
+	slot := t.Load(p.poolNext)
+	t.Store(p.poolNext, slot+1)
+	t.Unlock(p.poolLock)
+	assertf(int(slot) < p.poolCap, "cholesky: custom pool exhausted")
+	return idx(p.pool, int(slot)*taskNodeWords)
+}
+
+// freeNode pushes a finished descriptor onto the thread's free list. Nodes
+// are never returned to the allocator — exactly why their stale contents
+// and linkage survive to the end of the run.
+func (p *choleskyProg) freeNode(t *sim.Thread, node uint64) {
+	tid := t.TID()
+	head := t.Load(idx(p.freeHeads, tid))
+	t.Store(node, head) // node.next = head
+	t.Store(idx(p.freeHeads, tid), node)
+}
+
+func (p *choleskyProg) Worker(t *sim.Thread) {
+	tid := t.TID()
+	n := p.n
+	p.ready.await(t)
+
+	// Task loop: grab the next column, wait for all of its updates to
+	// arrive, finalize it, then scatter its update into later columns.
+	for {
+		t.Lock(p.queueLock)
+		col := int(t.Load(p.queue))
+		if col < n {
+			t.Store(p.queue, uint64(col+1))
+		}
+		t.Unlock(p.queueLock)
+		if col >= n {
+			break
+		}
+
+		// Wait until every previous column's update has been applied.
+		for t.Load(idx(p.updCount, col)) < uint64(col) {
+			t.Yield()
+		}
+
+		// Finalize column col: pivot with a numerical floor, mark done.
+		t.Lock(p.colLocks[col])
+		d := t.LoadF(p.at(col, col))
+		if d < 1 {
+			d = 1
+		}
+		t.StoreF(p.at(col, col), d)
+		t.Unlock(p.colLocks[col])
+		t.Store(idx(p.done, col), 1)
+
+		// Scatter col's outer-product update into each later column j.
+		// Columns receive these from different owners in racy order: the
+		// FP-precision nondeterminism source. Each update carries a
+		// descriptor node, all held until the task completes, so free
+		// lists grow to schedule-dependent lengths.
+		var held []uint64
+		for j := col + 1; j < n; j++ {
+			node := p.allocNode(t)
+			t.Store(idx(node, 1), uint64(col))
+			t.Store(idx(node, 2), uint64(j))
+			t.Store(idx(node, 3), uint64(tid))
+			held = append(held, node)
+
+			ljc := t.LoadF(p.at(j, col)) / d
+			t.Compute(12)
+			t.Lock(p.colLocks[j])
+			for i := j; i < n; i++ {
+				v := t.LoadF(p.at(i, j)) - ljc*t.LoadF(p.at(i, col))
+				t.Compute(20)
+				t.StoreF(p.at(i, j), v)
+			}
+			c := t.Load(idx(p.updCount, j))
+			t.Store(idx(p.updCount, j), c+1)
+			t.Unlock(p.colLocks[j])
+		}
+		for _, node := range held {
+			p.freeNode(t, node)
+		}
+	}
+	p.factored.await(t)
+
+	// Validation sweep: pure reads over this thread's row span.
+	lo, hi := span(n, p.nt, tid)
+	for i := lo; i < hi; i++ {
+		assertf(t.Load(idx(p.done, i)) == 1, "cholesky: column %d not finalized", i)
+	}
+	p.solved.await(t)
+}

@@ -1,0 +1,156 @@
+package apps
+
+import (
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:          "fluidanimate",
+		Source:        "parsec",
+		UsesFP:        true,
+		ExpectedClass: core.ClassFPDeterministic,
+		Build: func(o Options) sim.Program {
+			p := &fluidanimateProg{nt: o.threads(), particles: 256, cells: 64, steps: 8}
+			if o.Small {
+				p.particles, p.steps = 64, 3
+			}
+			return p
+		},
+	})
+}
+
+// fluidanimateProg reproduces PARSEC's fluidanimate: SPH-style fluid
+// simulation on a cell grid. Particles on cell borders contribute density
+// to shared per-cell accumulators under per-cell locks, so the additions
+// are atomic but their order is schedule-dependent — the classic
+// non-associative FP reduction of the paper's Figure 1. Bit-by-bit the
+// state differs across runs in the low mantissa bits; with the FP round-off
+// unit enabled the program is deterministic (Table 1's FP-precision group,
+// 41 dynamic points: 8 timesteps × 5 barriers + end).
+type fluidanimateProg struct {
+	nt        int
+	particles int
+	cells     int
+	steps     int
+
+	pos, vel   uint64 // per-particle position/velocity (1-D for simplicity)
+	density    uint64 // per-cell shared FP accumulators
+	energy     uint64 // global kinetic-energy reduction
+	cellLocks  []*sched.Mutex
+	energyLock *sched.Mutex
+
+	clear, dens, force, advance, stats barrier
+}
+
+func (p *fluidanimateProg) Name() string { return "fluidanimate" }
+
+func (p *fluidanimateProg) Threads() int { return p.nt }
+
+func (p *fluidanimateProg) Setup(t *sim.Thread) {
+	p.pos = t.AllocStatic("static:fa.pos", p.particles, mem.KindFloat)
+	p.vel = t.AllocStatic("static:fa.vel", p.particles, mem.KindFloat)
+	p.density = t.AllocStatic("static:fa.density", p.cells, mem.KindFloat)
+	p.energy = t.AllocStatic("static:fa.energy", 1, mem.KindFloat)
+	rng := newXorshift(3)
+	for i := 0; i < p.particles; i++ {
+		t.StoreF(idx(p.pos, i), float64(p.cells)*rng.unitFloat())
+		t.StoreF(idx(p.vel, i), 0.2*(rng.unitFloat()-0.5))
+	}
+	p.cellLocks = make([]*sched.Mutex, p.cells)
+	for c := range p.cellLocks {
+		p.cellLocks[c] = t.Machine().NewMutex("fa.cell")
+	}
+	p.energyLock = t.Machine().NewMutex("fa.energy")
+	p.clear = newBarrier(t, "fa.clear")
+	p.dens = newBarrier(t, "fa.dens")
+	p.force = newBarrier(t, "fa.force")
+	p.advance = newBarrier(t, "fa.advance")
+	p.stats = newBarrier(t, "fa.stats")
+}
+
+func (p *fluidanimateProg) cellOf(t *sim.Thread, i int) int {
+	x := t.LoadF(idx(p.pos, i))
+	c := int(x)
+	if c < 0 {
+		c = 0
+	}
+	if c >= p.cells {
+		c = p.cells - 1
+	}
+	return c
+}
+
+func (p *fluidanimateProg) Worker(t *sim.Thread) {
+	tid := t.TID()
+	lo, hi := span(p.particles, p.nt, tid)
+	clo, chi := span(p.cells, p.nt, tid)
+
+	for step := 0; step < p.steps; step++ {
+		// Phase 1: clear the cell accumulators (disjoint cell spans).
+		for c := clo; c < chi; c++ {
+			t.StoreF(idx(p.density, c), 0)
+		}
+		if tid == 0 {
+			t.StoreF(p.energy, 0)
+		}
+		p.clear.await(t)
+
+		// Phase 2: scatter density. The per-cell lock makes each addition
+		// atomic, but the order in which threads add to a border cell is
+		// schedule-dependent — the source of the FP nondeterminism.
+		for i := lo; i < hi; i++ {
+			c := p.cellOf(t, i)
+			contrib := 1.0 + 0.1*t.LoadF(idx(p.vel, i))
+			t.Compute(36) // kernel-weight evaluation
+			t.Lock(p.cellLocks[c])
+			d := t.LoadF(idx(p.density, c))
+			t.StoreF(idx(p.density, c), d+contrib)
+			t.Unlock(p.cellLocks[c])
+		}
+		p.dens.await(t)
+
+		// Phase 3: forces from the (now stable) densities; damped
+		// dynamics keep reorder error from amplifying.
+		for i := lo; i < hi; i++ {
+			c := p.cellOf(t, i)
+			d := t.LoadF(idx(p.density, c))
+			v := t.LoadF(idx(p.vel, i))
+			f := -0.01 * (d - 4.0)
+			t.Compute(40) // pressure + viscosity terms
+			t.StoreF(idx(p.vel, i), 0.98*v+0.01*f)
+		}
+		p.force.await(t)
+
+		// Phase 4: advance positions (disjoint), reflecting at the walls.
+		for i := lo; i < hi; i++ {
+			x := t.LoadF(idx(p.pos, i)) + 0.05*t.LoadF(idx(p.vel, i))
+			if x < 0 {
+				x = -x
+			}
+			if max := float64(p.cells) - 1e-9; x > max {
+				x = 2*max - x
+			}
+			t.Compute(12)
+			t.StoreF(idx(p.pos, i), x)
+		}
+		p.advance.await(t)
+
+		// Phase 5: global kinetic-energy reduction — another racy-order
+		// FP sum, this time under a single lock.
+		partial := 0.0
+		for i := lo; i < hi; i++ {
+			v := t.LoadF(idx(p.vel, i))
+			partial += v * v
+			t.Compute(8)
+		}
+		t.Lock(p.energyLock)
+		e := t.LoadF(p.energy)
+		t.StoreF(p.energy, e+partial)
+		t.Unlock(p.energyLock)
+		p.stats.await(t)
+	}
+}

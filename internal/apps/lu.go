@@ -1,0 +1,181 @@
+package apps
+
+import (
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:          "lu",
+		Source:        "splash2",
+		UsesFP:        true,
+		ExpectedClass: core.ClassBitDeterministic,
+		Build: func(o Options) sim.Program {
+			p := &luProg{nt: o.threads(), nb: 22, bs: 6}
+			if o.Small {
+				p.nb, p.bs = 4, 4
+			}
+			return p
+		},
+	})
+}
+
+// luProg reproduces SPLASH-2's lu: blocked in-place LU factorization of a
+// dense nb*bs × nb*bs matrix without pivoting (the matrix is made
+// diagonally dominant). Each elimination step runs three phases — diagonal
+// block factorization, perimeter panel update, interior trailing update —
+// with block ownership statically partitioned, so all writes are disjoint
+// and the factorization is bit-by-bit deterministic. Three barriers per
+// step plus a final one give the 68 dynamic points of Table 1
+// (22 steps × 3 + final + end).
+type luProg struct {
+	nt int
+	nb int // blocks per dimension
+	bs int // block size
+
+	a     uint64 // n×n row-major
+	norm  uint64 // final checksum word
+	diag  barrier
+	panel barrier
+	inner barrier
+	done  barrier
+}
+
+func (p *luProg) Name() string { return "lu" }
+
+func (p *luProg) Threads() int { return p.nt }
+
+func (p *luProg) n() int { return p.nb * p.bs }
+
+func (p *luProg) at(i, j int) uint64 { return idx(p.a, i*p.n()+j) }
+
+func (p *luProg) Setup(t *sim.Thread) {
+	n := p.n()
+	p.a = t.AllocStatic("static:lu.a", n*n, mem.KindFloat)
+	rng := newXorshift(11)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := rng.unitFloat() - 0.5
+			if i == j {
+				v += float64(n) // diagonal dominance: no pivoting needed
+			}
+			t.StoreF(p.at(i, j), v)
+		}
+	}
+	p.norm = t.AllocStatic("static:lu.norm", 1, mem.KindFloat)
+	p.diag = newBarrier(t, "lu.diag")
+	p.panel = newBarrier(t, "lu.panel")
+	p.inner = newBarrier(t, "lu.inner")
+	p.done = newBarrier(t, "lu.done")
+}
+
+// blockOwner statically assigns block (bi, bj) to a thread, as SPLASH-2's
+// 2-D scatter decomposition does.
+func (p *luProg) blockOwner(bi, bj int) int { return (bi*p.nb + bj) % p.nt }
+
+func (p *luProg) Worker(t *sim.Thread) {
+	bs := p.bs
+	for k := 0; k < p.nb; k++ {
+		// Phase 1: the diagonal block's owner factors it in place.
+		if p.blockOwner(k, k) == t.TID() {
+			for kk := 0; kk < bs; kk++ {
+				r, c := k*bs+kk, k*bs+kk
+				piv := t.LoadF(p.at(r, c))
+				for i := kk + 1; i < bs; i++ {
+					l := t.LoadF(p.at(k*bs+i, c)) / piv
+					t.Compute(2)
+					t.StoreF(p.at(k*bs+i, c), l)
+					for j := kk + 1; j < bs; j++ {
+						v := t.LoadF(p.at(k*bs+i, k*bs+j)) - l*t.LoadF(p.at(r, k*bs+j))
+						t.Compute(2)
+						t.StoreF(p.at(k*bs+i, k*bs+j), v)
+					}
+				}
+			}
+		}
+		p.diag.await(t)
+
+		// Phase 2: update the perimeter panels against the diagonal block.
+		for m := k + 1; m < p.nb; m++ {
+			if p.blockOwner(k, m) == t.TID() {
+				p.solveRowPanel(t, k, m)
+			}
+			if p.blockOwner(m, k) == t.TID() {
+				p.solveColPanel(t, k, m)
+			}
+		}
+		p.panel.await(t)
+
+		// Phase 3: rank-bs update of the trailing submatrix.
+		for bi := k + 1; bi < p.nb; bi++ {
+			for bj := k + 1; bj < p.nb; bj++ {
+				if p.blockOwner(bi, bj) != t.TID() {
+					continue
+				}
+				p.updateInterior(t, k, bi, bj)
+			}
+		}
+		p.inner.await(t)
+	}
+	// Final phase: thread 0 records the factor's trace as a checksum (a
+	// pure function of the now-stable matrix), then everyone synchronizes
+	// once more — the 67th barrier, giving Table 1's 68 points with "end".
+	if t.TID() == 0 {
+		sum := 0.0
+		for i := 0; i < p.n(); i++ {
+			sum += t.LoadF(p.at(i, i))
+		}
+		t.StoreF(p.norm, sum)
+	}
+	p.done.await(t)
+}
+
+// solveRowPanel computes U(k,m) = L(k,k)^-1 * A(k,m) in place.
+func (p *luProg) solveRowPanel(t *sim.Thread, k, m int) {
+	bs := p.bs
+	for kk := 0; kk < bs; kk++ {
+		for i := kk + 1; i < bs; i++ {
+			l := t.LoadF(p.at(k*bs+i, k*bs+kk))
+			for j := 0; j < bs; j++ {
+				v := t.LoadF(p.at(k*bs+i, m*bs+j)) - l*t.LoadF(p.at(k*bs+kk, m*bs+j))
+				t.Compute(2)
+				t.StoreF(p.at(k*bs+i, m*bs+j), v)
+			}
+		}
+	}
+}
+
+// solveColPanel computes L(m,k) = A(m,k) * U(k,k)^-1 in place.
+func (p *luProg) solveColPanel(t *sim.Thread, k, m int) {
+	bs := p.bs
+	for kk := 0; kk < bs; kk++ {
+		piv := t.LoadF(p.at(k*bs+kk, k*bs+kk))
+		for i := 0; i < bs; i++ {
+			s := t.LoadF(p.at(m*bs+i, k*bs+kk))
+			for j := 0; j < kk; j++ {
+				s -= t.LoadF(p.at(m*bs+i, k*bs+j)) * t.LoadF(p.at(k*bs+j, k*bs+kk))
+				t.Compute(2)
+			}
+			t.Compute(2)
+			t.StoreF(p.at(m*bs+i, k*bs+kk), s/piv)
+		}
+	}
+}
+
+// updateInterior computes A(bi,bj) -= L(bi,k) * U(k,bj), updating the
+// destination element in place per rank-1 term, as SPLASH-2's lu does.
+func (p *luProg) updateInterior(t *sim.Thread, k, bi, bj int) {
+	bs := p.bs
+	for i := 0; i < bs; i++ {
+		for j := 0; j < bs; j++ {
+			for kk := 0; kk < bs; kk++ {
+				s := t.LoadF(p.at(bi*bs+i, bj*bs+j)) -
+					t.LoadF(p.at(bi*bs+i, k*bs+kk))*t.LoadF(p.at(k*bs+kk, bj*bs+j))
+				t.Compute(16) // multiply-add plus address generation and loop control
+				t.StoreF(p.at(bi*bs+i, bj*bs+j), s)
+			}
+		}
+	}
+}

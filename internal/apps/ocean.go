@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:          "ocean",
+		Source:        "splash2",
+		UsesFP:        true,
+		ExpectedClass: core.ClassFPDeterministic,
+		Build: func(o Options) sim.Program {
+			p := &oceanProg{nt: o.threads(), g: 26, iters: 290}
+			if o.Small {
+				p.g, p.iters = 12, 12
+			}
+			return p
+		},
+	})
+}
+
+// oceanProg reproduces SPLASH-2's ocean: red-black Gauss-Seidel relaxation
+// of a g×g grid. The red and black half-sweeps write disjoint cells and
+// read only the opposite color (stable since the previous barrier), so the
+// grid itself is bit-by-bit deterministic. The per-iteration residual,
+// however, is reduced into a single shared accumulator under a lock — the
+// addition order is schedule-dependent, so the residual word differs in its
+// low mantissa bits across runs. With FP rounding the program is
+// deterministic (Table 1: 871 points — 290 iterations × 3 barriers + end).
+type oceanProg struct {
+	nt    int
+	g     int
+	iters int
+
+	grid      uint64 // g×g field
+	resid     uint64 // shared residual accumulator
+	residLock *sched.Mutex
+
+	red, black, residBar barrier
+}
+
+func (p *oceanProg) Name() string { return "ocean" }
+
+func (p *oceanProg) Threads() int { return p.nt }
+
+func (p *oceanProg) at(i, j int) uint64 { return idx(p.grid, i*p.g+j) }
+
+func (p *oceanProg) Setup(t *sim.Thread) {
+	p.grid = t.AllocStatic("static:oc.grid", p.g*p.g, mem.KindFloat)
+	p.resid = t.AllocStatic("static:oc.resid", 1, mem.KindFloat)
+	p.residLock = t.Machine().NewMutex("oc.resid")
+	rng := newXorshift(21)
+	for i := 0; i < p.g; i++ {
+		for j := 0; j < p.g; j++ {
+			v := rng.unitFloat()
+			if i == 0 || j == 0 || i == p.g-1 || j == p.g-1 {
+				v = 1.0 // fixed boundary
+			}
+			t.StoreF(p.at(i, j), v)
+		}
+	}
+	p.red = newBarrier(t, "oc.red")
+	p.black = newBarrier(t, "oc.black")
+	p.residBar = newBarrier(t, "oc.resid")
+}
+
+// relaxColor updates the interior cells of one color on this thread's rows
+// and returns the sum of squared updates (the thread's residual partial).
+func (p *oceanProg) relaxColor(t *sim.Thread, color, rlo, rhi int) float64 {
+	partial := 0.0
+	for i := rlo; i < rhi; i++ {
+		for j := 1; j < p.g-1; j++ {
+			if (i+j)%2 != color {
+				continue
+			}
+			up := t.LoadF(p.at(i-1, j))
+			down := t.LoadF(p.at(i+1, j))
+			left := t.LoadF(p.at(i, j-1))
+			right := t.LoadF(p.at(i, j+1))
+			old := t.LoadF(p.at(i, j))
+			v := 0.25 * (up + down + left + right)
+			diff := v - old
+			partial += diff * diff
+			t.Compute(24) // stencil arithmetic + convergence bookkeeping
+			t.StoreF(p.at(i, j), v)
+		}
+	}
+	return partial
+}
+
+func (p *oceanProg) Worker(t *sim.Thread) {
+	// Interior rows 1..g-2 partitioned across threads.
+	rlo, rhi := span(p.g-2, p.nt, t.TID())
+	rlo, rhi = rlo+1, rhi+1
+
+	for it := 0; it < p.iters; it++ {
+		if t.TID() == 0 {
+			t.StoreF(p.resid, 0)
+		}
+		red := p.relaxColor(t, 0, rlo, rhi)
+		p.red.await(t)
+		black := p.relaxColor(t, 1, rlo, rhi)
+		p.black.await(t)
+		// Residual reduction: atomic per addition, racy in order.
+		t.Lock(p.residLock)
+		r := t.LoadF(p.resid)
+		t.StoreF(p.resid, r+red+black)
+		t.Unlock(p.residLock)
+		p.residBar.await(t)
+	}
+}

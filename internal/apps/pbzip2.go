@@ -1,0 +1,204 @@
+package apps
+
+import (
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:          "pbzip2",
+		Source:        "openSrc",
+		UsesFP:        false,
+		ExpectedClass: core.ClassStructDeterministic,
+		Ignore: func() *sim.IgnoreSet {
+			// The pointer field of each result-task record: it points to
+			// memory the consumers allocated nondeterministically; the
+			// buffers themselves are freed (and so leave the state), but
+			// the dangling pointers remain (§7.2).
+			n := pbzip2DefaultBlocks
+			offsets := make([]int, n)
+			for i := range offsets {
+				offsets[i] = i*pbzip2ResultWords + 1 // the ptr word
+			}
+			return sim.NewIgnoreSet(sim.IgnoreRule{Site: "static:pb.results", Offsets: offsets})
+		},
+		Build: func(o Options) sim.Program {
+			p := &pbzip2Prog{nt: o.threads(), blocks: pbzip2DefaultBlocks, blockWords: 32}
+			if o.Small {
+				p.blocks, p.blockWords = 8, 16
+			}
+			return p
+		},
+	})
+}
+
+const (
+	pbzip2DefaultBlocks = 24
+	pbzip2ResultWords   = 2 // {compressedLen, bufPtr}
+)
+
+// pbzip2Prog reproduces the pbzip2 block compressor: thread 0 produces
+// fixed-size blocks of the input file into a bounded job queue; the
+// remaining threads are consumers that race for jobs, compress them, and
+// record {length, buffer pointer} in a results table indexed by block
+// number. Thread 0 then writes the compressed blocks to the output stream
+// in block order and frees the buffers.
+//
+// The program has very high internal nondeterminism — which consumer
+// compresses which block is a race — but the compressed output and the
+// final state are deterministic, EXCEPT for the pointer fields in the
+// result records: consumers allocate their buffers in schedule order, so
+// the recorded addresses differ across runs, and after the buffers are
+// freed the pointers dangle. Ignoring those pointer words makes pbzip2
+// externally deterministic (Table 1: 1 dynamic point — the end of the run;
+// pbzip2 has no barriers). The output stream is additionally hashed at the
+// write() boundary (§4.3) and is deterministic.
+type pbzip2Prog struct {
+	nt         int
+	blocks     int
+	blockWords int
+
+	input   uint64 // blocks × blockWords input data
+	results uint64 // blocks × {len, ptr}
+	queue   uint64 // {head, tail, done} job-queue indices
+	jobs    uint64 // ring of block numbers
+
+	qLock  *sched.Mutex
+	qAvail *sched.Cond // consumers wait for jobs
+	qDone  uint64      // per-block completion flags
+}
+
+func (p *pbzip2Prog) Name() string { return "pbzip2" }
+
+func (p *pbzip2Prog) Threads() int { return p.nt }
+
+func (p *pbzip2Prog) Setup(t *sim.Thread) {
+	n := p.blocks * p.blockWords
+	p.input = t.AllocStatic("static:pb.input", n, mem.KindWord)
+	p.results = t.AllocStatic("static:pb.results", p.blocks*pbzip2ResultWords, mem.KindWord)
+	p.queue = t.AllocStatic("static:pb.queue", 3, mem.KindWord)
+	p.jobs = t.AllocStatic("static:pb.jobs", p.blocks, mem.KindWord)
+	p.qDone = t.AllocStatic("static:pb.done", p.blocks, mem.KindWord)
+	rng := newXorshift(31)
+	for i := 0; i < n; i++ {
+		// Compressible input: long runs with occasional noise.
+		v := uint64(i/7) % 5
+		if rng.next()%11 == 0 {
+			v = rng.next() % 256
+		}
+		t.Store(idx(p.input, i), v)
+	}
+	p.qLock = t.Machine().NewMutex("pb.queue")
+	p.qAvail = t.Machine().NewCond("pb.avail", p.qLock)
+}
+
+const (
+	qHead = 0
+	qTail = 1
+	qStop = 2
+)
+
+func (p *pbzip2Prog) Worker(t *sim.Thread) {
+	if t.TID() == 0 {
+		p.producer(t)
+	} else {
+		p.consumer(t)
+	}
+}
+
+// producer enqueues every block, signals consumers, then writes the
+// compressed stream in block order and frees the buffers.
+func (p *pbzip2Prog) producer(t *sim.Thread) {
+	for b := 0; b < p.blocks; b++ {
+		t.Lock(p.qLock)
+		tail := t.Load(idx(p.queue, qTail))
+		t.Store(idx(p.jobs, int(tail)%p.blocks), uint64(b))
+		t.Store(idx(p.queue, qTail), tail+1)
+		t.CondSignal(p.qAvail)
+		t.Unlock(p.qLock)
+	}
+	t.Lock(p.qLock)
+	t.Store(idx(p.queue, qStop), 1)
+	t.CondBroadcast(p.qAvail)
+	t.Unlock(p.qLock)
+
+	// Write blocks to the output stream in order, as pbzip2's file writer
+	// does — per-block framing [index, primary, len16] + payload — then
+	// release the compressed buffers.
+	for b := 0; b < p.blocks; b++ {
+		for t.Load(idx(p.qDone, b)) == 0 {
+			t.Yield()
+		}
+		buf := t.Load(idx(p.results, b*pbzip2ResultWords+1))
+		primary := t.Load(idx(buf, 0))
+		length := int(t.Load(idx(buf, 1)))
+		out := make([]byte, 0, length+4)
+		out = append(out, byte(b), byte(primary), byte(length), byte(length>>8))
+		for i := 0; i < length; i++ {
+			out = append(out, byte(t.Load(idx(buf, 2+i))))
+		}
+		t.Write(out)
+		t.Free(buf)
+		// NOTE: the buffer pointer in the result record now dangles —
+		// deliberately, mirroring the bug-prone-but-benign original.
+	}
+}
+
+// consumer loops taking jobs and compressing blocks.
+func (p *pbzip2Prog) consumer(t *sim.Thread) {
+	for {
+		t.Lock(p.qLock)
+		for {
+			head := t.Load(idx(p.queue, qHead))
+			tail := t.Load(idx(p.queue, qTail))
+			if head != tail {
+				t.Store(idx(p.queue, qHead), head+1)
+				b := int(t.Load(idx(p.jobs, int(head)%p.blocks)))
+				t.Unlock(p.qLock)
+				p.compress(t, b)
+				break
+			}
+			if t.Load(idx(p.queue, qStop)) == 1 {
+				t.Unlock(p.qLock)
+				return
+			}
+			t.CondWait(p.qAvail)
+		}
+	}
+}
+
+// compressedWords is the fixed footprint of a compressed-block buffer:
+// {primary, payloadLen} plus a worst-case RLE payload (2 bytes per input
+// byte), one byte per word. A fixed footprint keeps address replay stable
+// even though which consumer compresses which block is a race.
+func (p *pbzip2Prog) compressedWords() int { return 2 + 2*p.blockWords }
+
+// compress runs the real bzip2 core — Burrows-Wheeler transform,
+// move-to-front, run-length coding (see bwt.go) — on one block, into a
+// freshly allocated buffer. The buffer is allocated at a shared site, so
+// the address a block's output lands at depends on the schedule; the
+// record {len, ptr} is published in the results table with the done flag.
+// The final Huffman stage's work is modeled as a per-word charge.
+func (p *pbzip2Prog) compress(t *sim.Thread, b int) {
+	base := b * p.blockWords
+	data := make([]byte, p.blockWords) // thread-private work area
+	for i := range data {
+		data[i] = byte(t.Load(idx(p.input, base+i)))
+		t.Compute(900) // sort, MTF and entropy-coding work per byte
+	}
+	payload, primary := blockCompress(data)
+	assertf(len(payload) <= 2*p.blockWords, "pbzip2: payload overflow")
+
+	buf := t.Malloc("pbzip2.compressed", p.compressedWords(), mem.KindWord)
+	t.Store(idx(buf, 0), uint64(primary))
+	t.Store(idx(buf, 1), uint64(len(payload)))
+	for i, c := range payload {
+		t.Store(idx(buf, 2+i), uint64(c))
+	}
+	t.Store(idx(p.results, b*pbzip2ResultWords), uint64(len(payload)))
+	t.Store(idx(p.results, b*pbzip2ResultWords+1), buf)
+	t.Store(idx(p.qDone, b), 1)
+}

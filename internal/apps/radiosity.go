@@ -1,0 +1,131 @@
+package apps
+
+import (
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:          "radiosity",
+		Source:        "splash2",
+		UsesFP:        false,
+		ExpectedClass: core.ClassNondeterministic,
+		Build: func(o Options) sim.Program {
+			p := &radiosityProg{nt: o.threads(), patches: 64, iters: 18}
+			if o.Small {
+				p.patches, p.iters = 24, 4
+			}
+			return p
+		},
+	})
+}
+
+// radiosityProg reproduces SPLASH-2's radiosity: hierarchical radiosity
+// with dynamic task stealing. Each iteration seeds a shared work queue
+// with patch-interaction tasks; threads steal tasks in schedule order,
+// compute energy transfers in fixed-point integer arithmetic, and append
+// refinement records to a shared log through a racy cursor. Both the
+// completion order encoded in the log and the per-patch "last updated by
+// task" markers are schedule-dependent from the very first iteration, so
+// every checking point is nondeterministic (Table 1: 19 points, 0 det,
+// not deterministic at the end).
+type radiosityProg struct {
+	nt      int
+	patches int
+	iters   int
+
+	energy   uint64 // per-patch fixed-point radiosity
+	stamp    uint64 // per-patch last-refinement stamp (order-dependent)
+	taskCur  uint64 // shared task cursor for the iteration
+	logCur   uint64 // shared refinement-log cursor
+	logBuf   uint64 // refinement log entries
+	logWords int
+
+	queueLock *sched.Mutex
+	logLock   *sched.Mutex
+	patchLock []*sched.Mutex
+
+	iter barrier
+}
+
+func (p *radiosityProg) Name() string { return "radiosity" }
+
+func (p *radiosityProg) Threads() int { return p.nt }
+
+func (p *radiosityProg) Setup(t *sim.Thread) {
+	n := p.patches
+	p.energy = t.AllocStatic("static:ra.energy", n, mem.KindWord)
+	p.stamp = t.AllocStatic("static:ra.stamp", n, mem.KindWord)
+	p.taskCur = t.AllocStatic("static:ra.taskCur", p.iters, mem.KindWord)
+	p.logCur = t.AllocStatic("static:ra.logCur", 1, mem.KindWord)
+	p.logWords = 2 * n
+	p.logBuf = t.AllocStatic("static:ra.log", p.logWords, mem.KindWord)
+	rng := newXorshift(61)
+	for i := 0; i < n; i++ {
+		t.Store(idx(p.energy, i), 1000+rng.next()%1000)
+	}
+	p.queueLock = t.Machine().NewMutex("ra.queue")
+	p.logLock = t.Machine().NewMutex("ra.log")
+	p.patchLock = make([]*sched.Mutex, n)
+	for i := range p.patchLock {
+		p.patchLock[i] = t.Machine().NewMutex("ra.patch")
+	}
+	p.iter = newBarrier(t, "ra.iter")
+}
+
+func (p *radiosityProg) Worker(t *sim.Thread) {
+	tid := t.TID()
+	n := p.patches
+	for it := 0; it < p.iters; it++ {
+		// Steal patch tasks until the queue drains. Each iteration has
+		// its own cursor word (zero-initialized), so no reset phase is
+		// needed. Which thread gets which task — and hence all orders
+		// below — is the schedule.
+		for {
+			t.Lock(p.queueLock)
+			task := int(t.Load(idx(p.taskCur, it)))
+			if task < n {
+				t.Store(idx(p.taskCur, it), uint64(task+1))
+			}
+			t.Unlock(p.queueLock)
+			if task >= n {
+				break
+			}
+
+			src := task
+			dst := (task*7 + it) % n
+			if dst == src {
+				dst = (dst + 1) % n
+			}
+			// Transfer a quarter of the source's energy (fixed point).
+			lo, hi := src, dst
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			t.Lock(p.patchLock[lo])
+			t.Lock(p.patchLock[hi])
+			e := t.Load(idx(p.energy, src))
+			moved := e / 4
+			t.Store(idx(p.energy, src), e-moved)
+			d := t.Load(idx(p.energy, dst))
+			t.Store(idx(p.energy, dst), d+moved)
+			t.Compute(60) // form-factor evaluation
+			// Order-dependent markers: who last refined the patch...
+			t.Store(idx(p.stamp, dst), uint64(tid)<<32|uint64(task))
+			t.Unlock(p.patchLock[hi])
+			t.Unlock(p.patchLock[lo])
+
+			// ...and the completion-order log.
+			t.Lock(p.logLock)
+			cur := t.Load(p.logCur)
+			t.Store(p.logCur, cur+1)
+			t.Unlock(p.logLock)
+			slot := int(cur) % p.logWords
+			t.Store(idx(p.logBuf, slot), uint64(task)<<16|uint64(tid))
+		}
+		p.iter.await(t)
+	}
+}

@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:   "streamcluster",
+		Source: "parsec",
+		UsesFP: true,
+		// With the author's fix the program is bit-by-bit deterministic;
+		// the shipped version carries a real order-violation bug that is
+		// nondeterministic at interior barriers but masked at program end
+		// for the default input (Table 1's ★ footnote).
+		ExpectedClass: core.ClassBitDeterministic,
+		Build: func(o Options) sim.Program {
+			p := &streamclusterProg{
+				nt: o.threads(), points: 64, dims: 4,
+				chunks: 2, speedyIters: 37, pgainIters: 6463,
+				fixed: o.FixBug,
+			}
+			if o.Small {
+				p.chunks, p.speedyIters, p.pgainIters = 1, 6, 20
+			}
+			return p
+		},
+	})
+}
+
+// streamclusterProg reproduces PARSEC's streamcluster: online k-median
+// clustering of a stream of points, processed in chunks. Each chunk first
+// runs a "speedy" initial-solution phase and then a long "pgain" local
+// search. The pgain loop recomputes assignments and costs from the raw
+// point data deterministically with disjoint writes, and its barriers —
+// the overwhelming majority — are deterministic.
+//
+// The shipped program (version 2.1) contains the real concurrency bug the
+// paper found with InstantCheck: in the speedy phase, worker threads read
+// thread 0's center-opening decisions without waiting for the flag that
+// orders those writes before the reads — a non-benign order violation.
+// The racy reads leave schedule-dependent values in the per-thread cost
+// scratch, so the 74 speedy barriers (37 per chunk × 2 chunks) are
+// nondeterministic. The pgain phase then deterministically overwrites
+// every tainted word, masking the bug by the end of the run — exactly the
+// masking the paper reports for the simmedium input, and the reason
+// checking only at program end would miss the bug. Options.FixBug inserts
+// the missing flag wait (the author's fix).
+type streamclusterProg struct {
+	nt          int
+	points      int
+	dims        int
+	chunks      int
+	speedyIters int
+	pgainIters  int
+	fixed       bool
+
+	data      uint64 // points × dims coordinates
+	open      uint64 // speedy's open-center decisions (thread 0 writes)
+	openBuf   uint64 // pgain's double-buffered decisions (2 × points)
+	openReady uint64 // per-(chunk,iter) ready flags
+	cost      uint64 // per-thread cost scratch
+	centers   uint64 // final per-thread medians
+	final     barrier
+
+	speedyBar barrier
+	pgainBar  barrier
+}
+
+func (p *streamclusterProg) Name() string { return "streamcluster" }
+
+func (p *streamclusterProg) Threads() int { return p.nt }
+
+func (p *streamclusterProg) Setup(t *sim.Thread) {
+	n := p.points * p.dims
+	p.data = t.AllocStatic("static:sc.data", n, mem.KindFloat)
+	p.open = t.AllocStatic("static:sc.open", p.points, mem.KindWord)
+	p.openBuf = t.AllocStatic("static:sc.openbuf", 2*p.points, mem.KindWord)
+	p.openReady = t.AllocStatic("static:sc.ready", p.chunks*p.speedyIters, mem.KindWord)
+	p.cost = t.AllocStatic("static:sc.cost", p.nt, mem.KindFloat)
+	p.centers = t.AllocStatic("static:sc.centers", p.nt, mem.KindFloat)
+	rng := newXorshift(77)
+	for i := 0; i < n; i++ {
+		t.StoreF(idx(p.data, i), 10*rng.unitFloat())
+	}
+	p.speedyBar = newBarrier(t, "sc.speedy")
+	p.pgainBar = newBarrier(t, "sc.pgain")
+	p.final = newBarrier(t, "sc.final")
+}
+
+func (p *streamclusterProg) Worker(t *sim.Thread) {
+	tid := t.TID()
+	lo, hi := span(p.points, p.nt, tid)
+
+	for chunk := 0; chunk < p.chunks; chunk++ {
+		// ---- speedy phase: builds an initial solution hint ----
+		for it := 0; it < p.speedyIters; it++ {
+			flag := idx(p.openReady, chunk*p.speedyIters+it)
+			if tid == 0 {
+				// Decide which points open a center this round — a pure
+				// function of the data and the iteration.
+				for i := 0; i < p.points; i++ {
+					d := t.LoadF(idx(p.data, i*p.dims))
+					openIt := uint64(0)
+					if int(d*16)%(it+2) == 0 {
+						openIt = 1
+					}
+					t.Store(idx(p.open, i), openIt)
+				}
+				t.Store(flag, 1)
+			} else if p.fixed {
+				// The author's fix: wait until the decisions are written.
+				spinWaitFlag(t, flag)
+			}
+			// BUG (shipped version): without the wait, these reads race
+			// with thread 0's writes above and may observe a mix of this
+			// round's and last round's decisions.
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				if t.Load(idx(p.open, i)) == 1 {
+					sum += t.LoadF(idx(p.data, i*p.dims+1))
+					t.Compute(30) // distance evaluation over the dimensions
+				}
+			}
+			t.StoreF(idx(p.cost, tid), sum)
+			p.speedyBar.await(t)
+		}
+
+		// ---- pgain phase: deterministic local search ----
+		// The per-thread cost scratch the buggy speedy phase tainted is
+		// recomputed here from the raw data, so the bug's effects are
+		// masked. Decisions are double-buffered by iteration parity:
+		// thread 0 writes this iteration's buffer before the barrier
+		// while slower threads may still be reading the OTHER buffer for
+		// the previous iteration — no race, one barrier per iteration.
+		for it := 0; it < p.pgainIters; it++ {
+			buf := (it % 2) * p.points
+			if tid == 0 {
+				for i := 0; i < p.points; i++ {
+					d := t.LoadF(idx(p.data, i*p.dims))
+					openIt := uint64(0)
+					if int(d*32)%((it%7)+2) == 0 {
+						openIt = 1
+					}
+					t.Compute(20) // gain evaluation for the candidate
+					t.Store(idx(p.openBuf, buf+i), openIt)
+				}
+			}
+			p.pgainBar.await(t) // this iteration's decisions stable from here
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				if t.Load(idx(p.openBuf, buf+i)) == 1 {
+					sum += t.LoadF(idx(p.data, i*p.dims+2))
+					t.Compute(30) // distance evaluation over the dimensions
+				}
+			}
+			t.StoreF(idx(p.cost, tid), sum)
+			t.StoreF(idx(p.centers, tid), sum*0.5+float64(chunk))
+		}
+	}
+	p.final.await(t)
+}

@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"math"
+
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:          "swaptions",
+		Source:        "parsec",
+		UsesFP:        true,
+		ExpectedClass: core.ClassBitDeterministic,
+		Build: func(o Options) sim.Program {
+			p := &swaptionsProg{nt: o.threads(), perThread: 2, trials: 2500}
+			if o.Small {
+				p.trials = 40
+			}
+			return p
+		},
+	})
+}
+
+// swaptionsProg reproduces PARSEC's swaptions: Monte-Carlo pricing of
+// swaptions under an HJM-style short-rate simulation. One might expect a
+// Monte-Carlo code to be nondeterministic, but — exactly as the paper
+// observes (§7.2) — each thread owns a private random number generator
+// with no shared state, so given the same seeds every thread produces its
+// own deterministic path sequence independent of scheduling, and each
+// thread accumulates into its own swaptions' price slots. The program is
+// therefore bit-by-bit deterministic. A barrier per trial yields the
+// 2501 dynamic points of Table 1.
+type swaptionsProg struct {
+	nt        int
+	perThread int
+	trials    int
+
+	strike, tenor uint64 // per-swaption parameters
+	sum, sumSq    uint64 // per-swaption accumulators (owner-thread only)
+	trial         barrier
+}
+
+func (p *swaptionsProg) Name() string { return "swaptions" }
+
+func (p *swaptionsProg) Threads() int { return p.nt }
+
+func (p *swaptionsProg) count() int { return p.nt * p.perThread }
+
+func (p *swaptionsProg) Setup(t *sim.Thread) {
+	n := p.count()
+	p.strike = t.AllocStatic("static:swp.strike", n, mem.KindFloat)
+	p.tenor = t.AllocStatic("static:swp.tenor", n, mem.KindFloat)
+	p.sum = t.AllocStatic("static:swp.sum", n, mem.KindFloat)
+	p.sumSq = t.AllocStatic("static:swp.sumsq", n, mem.KindFloat)
+	rng := newXorshift(1234)
+	for i := 0; i < n; i++ {
+		t.StoreF(idx(p.strike, i), 0.02+0.06*rng.unitFloat())
+		t.StoreF(idx(p.tenor, i), 1+9*rng.unitFloat())
+	}
+	p.trial = newBarrier(t, "swp.trial")
+}
+
+func (p *swaptionsProg) Worker(t *sim.Thread) {
+	tid := t.TID()
+	// Thread-local RNG: seeded per thread, never shared — the structural
+	// reason this Monte-Carlo simulation is externally deterministic.
+	rng := newXorshift(uint64(tid+1) * 0x9e3779b97f4a7c15)
+	first := tid * p.perThread
+	for trial := 0; trial < p.trials; trial++ {
+		for s := 0; s < p.perThread; s++ {
+			i := first + s
+			strike := t.LoadF(idx(p.strike, i))
+			tenor := t.LoadF(idx(p.tenor, i))
+			payoff := simulatePath(&rng, strike, tenor)
+			t.Compute(120) // the HJM path evolution per trial
+			t.StoreF(idx(p.sum, i), t.LoadF(idx(p.sum, i))+payoff)
+			t.StoreF(idx(p.sumSq, i), t.LoadF(idx(p.sumSq, i))+payoff*payoff)
+		}
+		p.trial.await(t)
+	}
+}
+
+// simulatePath evolves a toy short-rate path and returns the discounted
+// payoff of a payer swaption.
+func simulatePath(rng *xorshift, strike, tenor float64) float64 {
+	const steps = 8
+	rate := 0.04
+	dt := tenor / steps
+	df := 1.0
+	for s := 0; s < steps; s++ {
+		// Box-Muller-free gaussian-ish shock from two uniforms.
+		u1, u2 := rng.unitFloat(), rng.unitFloat()
+		shock := (u1 + u2 - 1) * 0.02
+		rate += 0.3*(0.045-rate)*dt + shock*math.Sqrt(dt)
+		if rate < 0.0001 {
+			rate = 0.0001
+		}
+		df *= math.Exp(-rate * dt)
+	}
+	payoff := rate - strike
+	if payoff < 0 {
+		payoff = 0
+	}
+	return payoff * df * 100
+}

@@ -1,0 +1,178 @@
+package apps
+
+import (
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:          "volrend",
+		Source:        "splash2",
+		UsesFP:        false,
+		ExpectedClass: core.ClassBitDeterministic,
+		Build: func(o Options) sim.Program {
+			p := &volrendProg{nt: o.threads(), dim: 24, img: 32}
+			if o.Small {
+				p.dim, p.img = 12, 16
+			}
+			return p
+		},
+	})
+}
+
+// volrendProg reproduces SPLASH-2's volrend: ray casting through a voxel
+// volume into an image, in fixed-point integer arithmetic (the original's
+// hot path is table-driven; the paper lists volrend as FP-free). Five
+// phases separated by pthread barriers give the 6 dynamic points of
+// Table 1.
+//
+// Like the original, the classification phase synchronizes its two
+// sub-phases with a hand-coded sense-reversing barrier that contains a
+// benign data race: waiters spin on the sense word without holding the
+// lock that protects the arrival counter. The race changes per-run timing
+// but never the final memory state, and InstantCheck correctly reports
+// volrend as deterministic despite it (§7.2.1). Hand-coded barriers are
+// deliberately not checkpoints — the paper checks only at pthread barriers.
+type volrendProg struct {
+	nt  int
+	dim int // voxel cube edge
+	img int // image edge
+
+	voxel   uint64 // dim³ densities
+	opacity uint64 // dim³ derived opacities
+	shade   uint64 // dim³ classified shades
+	image   uint64 // img² pixels
+	hist    uint64 // 16-bucket brightness histogram (thread 0)
+
+	// Hand-coded sense-reversing barrier state.
+	hcCount uint64
+	hcSense uint64
+	hcLock  *sched.Mutex
+
+	phase barrier
+}
+
+func (p *volrendProg) Name() string { return "volrend" }
+
+func (p *volrendProg) Threads() int { return p.nt }
+
+func (p *volrendProg) vox(x, y, z int) int { return (x*p.dim+y)*p.dim + z }
+
+func (p *volrendProg) Setup(t *sim.Thread) {
+	d := p.dim
+	p.voxel = t.AllocStatic("static:vr.voxel", d*d*d, mem.KindWord)
+	p.opacity = t.AllocStatic("static:vr.opacity", d*d*d, mem.KindWord)
+	p.shade = t.AllocStatic("static:vr.shade", d*d*d, mem.KindWord)
+	p.image = t.AllocStatic("static:vr.image", p.img*p.img, mem.KindWord)
+	p.hist = t.AllocStatic("static:vr.hist", 16, mem.KindWord)
+	p.hcCount = t.AllocStatic("static:vr.hc.count", 1, mem.KindWord)
+	p.hcSense = t.AllocStatic("static:vr.hc.sense", 1, mem.KindWord)
+	p.hcLock = t.Machine().NewMutex("vr.hc")
+	rng := newXorshift(5)
+	for i := 0; i < d*d*d; i++ {
+		t.Store(idx(p.voxel, i), rng.next()%4096)
+	}
+	p.phase = newBarrier(t, "vr.phase")
+}
+
+func (p *volrendProg) Worker(t *sim.Thread) {
+	d := p.dim
+	tid := t.TID()
+	total := d * d * d
+
+	// Phase 1: derive raw opacities from densities (disjoint spans).
+	lo, hi := span(total, p.nt, tid)
+	for i := lo; i < hi; i++ {
+		v := t.Load(idx(p.voxel, i))
+		t.Compute(20)
+		t.Store(idx(p.opacity, i), v/2)
+	}
+	p.phase.await(t)
+
+	// Phase 2, sub-phase (a): threshold opacities in place.
+	for i := lo; i < hi; i++ {
+		o := t.Load(idx(p.opacity, i))
+		if o > 1024 {
+			o = 1024
+		}
+		t.Store(idx(p.opacity, i), o)
+	}
+	// The hand-coded barrier orders (a) before (b): sub-phase (b) reads a
+	// right neighbor that may belong to another thread's span.
+	p.handBarrier(t)
+	for i := lo; i < hi; i++ {
+		o := t.Load(idx(p.opacity, i))
+		if i+1 < total {
+			if n := t.Load(idx(p.opacity, i+1)); n > o {
+				o = n
+			}
+		}
+		t.Compute(16)
+		t.Store(idx(p.shade, i), o)
+	}
+	p.phase.await(t)
+
+	// Phase 3: cast rays; each thread owns disjoint image rows.
+	rlo, rhi := span(p.img, p.nt, tid)
+	for y := rlo; y < rhi; y++ {
+		for x := 0; x < p.img; x++ {
+			acc := uint64(0)
+			trans := uint64(4096)
+			for z := 0; z < d; z++ {
+				vx := x * d / p.img
+				vy := y * d / p.img
+				o := t.Load(idx(p.shade, p.vox(vx, vy, z)))
+				acc += trans * o >> 12
+				trans = trans * (4096 - o/4) >> 12
+				t.Compute(20) // table lookups + fixed-point compositing
+			}
+			t.Store(idx(p.image, y*p.img+x), acc)
+		}
+	}
+	p.phase.await(t)
+
+	// Phase 4: normalize pixels (disjoint spans again).
+	plo, phi := span(p.img*p.img, p.nt, tid)
+	for i := plo; i < phi; i++ {
+		v := t.Load(idx(p.image, i))
+		t.Store(idx(p.image, i), v>>4)
+	}
+	p.phase.await(t)
+
+	// Phase 5: thread 0 builds the brightness histogram.
+	if tid == 0 {
+		for i := 0; i < p.img*p.img; i++ {
+			v := t.Load(idx(p.image, i))
+			b := int(v % 16)
+			c := t.Load(idx(p.hist, b))
+			t.Store(idx(p.hist, b), c+1)
+		}
+	}
+	p.phase.await(t)
+}
+
+// handBarrier is volrend's hand-coded sense-reversing barrier. The arrival
+// counter is protected by a lock, but the spin on the sense word — and the
+// initial read of it — happen with no lock held: a data race in the
+// original program, but a benign one, since every run still reaches the
+// same final state (the counter returns to zero and the sense word flips a
+// fixed number of times).
+func (p *volrendProg) handBarrier(t *sim.Thread) {
+	mySense := t.Load(p.hcSense) // racy read: benign
+	t.Lock(p.hcLock)
+	c := t.Load(p.hcCount) + 1
+	if c == uint64(p.nt) {
+		t.Store(p.hcCount, 0)
+		t.Store(p.hcSense, 1-mySense)
+		t.Unlock(p.hcLock)
+		return
+	}
+	t.Store(p.hcCount, c)
+	t.Unlock(p.hcLock)
+	for t.Load(p.hcSense) == mySense {
+		t.Yield()
+	}
+}

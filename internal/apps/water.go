@@ -1,0 +1,251 @@
+package apps
+
+import (
+	"math"
+
+	"instantcheck/internal/core"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+func init() {
+	register(&App{
+		Name:          "waterNS",
+		Source:        "splash2",
+		UsesFP:        true,
+		ExpectedClass: core.ClassFPDeterministic,
+		HostsBug:      BugSemantic,
+		Build: func(o Options) sim.Program {
+			p := newWaterProg("waterNS", o, false)
+			p.bugSemantic = o.Bug == BugSemantic
+			return p
+		},
+	})
+	register(&App{
+		Name:          "waterSP",
+		Source:        "splash2",
+		UsesFP:        true,
+		ExpectedClass: core.ClassFPDeterministic,
+		HostsBug:      BugAtomicity,
+		Build: func(o Options) sim.Program {
+			p := newWaterProg("waterSP", o, true)
+			p.bugAtomicity = o.Bug == BugAtomicity
+			return p
+		},
+	})
+}
+
+// waterProg reproduces SPLASH-2's water codes: 3-D molecular dynamics of n
+// molecules over fixed timesteps. waterNS (n-squared) evaluates all pairs;
+// waterSP (spatial) first bins molecules into cells along x and evaluates
+// only nearby pairs. In both, pairwise forces accumulate into shared
+// per-molecule force vectors under per-molecule locks, and the potential
+// energy reduces into a shared global under a lock — atomic additions in
+// schedule-dependent order, so both programs are deterministic only after
+// FP rounding (Table 1: 21 points each — 5 steps × 4 barriers + end).
+//
+// The two Figure 7 bugs live here:
+//
+//   - waterNS, semantic (Figure 7a): in the energy phase, thread 3 reads
+//     the global potential accumulator after adding its own partial but
+//     before the reduction is complete, and stores the premature value
+//     into its diagnostic slot — using a reduction before the phase that
+//     finishes it. The value depends on how many threads have added.
+//   - waterSP, atomicity violation (Figure 7b): thread 3 updates the
+//     global potential with an unlocked read-modify-write; a preemption
+//     between the read and the write loses concurrent updates.
+//
+// Both bugs are seeded only for thread 3 and never crash the program.
+type waterProg struct {
+	name    string
+	nt      int
+	n       int
+	steps   int
+	spatial bool
+
+	bugSemantic  bool
+	bugAtomicity bool
+
+	pos, vel, force uint64 // per-molecule 3-D state (stride 3)
+	cellOf          uint64 // waterSP: per-molecule cell index
+	pot             uint64 // global potential accumulator
+	hist            uint64 // waterSP: per-step potential history
+	diag            uint64 // per-thread diagnostic slots
+
+	molLocks []*sched.Mutex
+	potLock  *sched.Mutex
+
+	predict, forces, correct, energy barrier
+}
+
+func newWaterProg(name string, o Options, spatial bool) *waterProg {
+	p := &waterProg{name: name, nt: o.threads(), n: 64, steps: 5, spatial: spatial}
+	if o.Small {
+		p.n, p.steps = 24, 3
+	}
+	return p
+}
+
+func (p *waterProg) Name() string { return p.name }
+
+func (p *waterProg) Threads() int { return p.nt }
+
+// coord addresses component c of molecule i's vector in array base.
+func (p *waterProg) coord(base uint64, i, c int) uint64 { return idx(base, i*3+c) }
+
+func (p *waterProg) Setup(t *sim.Thread) {
+	p.pos = t.AllocStatic("static:w.pos", 3*p.n, mem.KindFloat)
+	p.vel = t.AllocStatic("static:w.vel", 3*p.n, mem.KindFloat)
+	p.force = t.AllocStatic("static:w.force", 3*p.n, mem.KindFloat)
+	p.pot = t.AllocStatic("static:w.pot", 1, mem.KindFloat)
+	p.diag = t.AllocStatic("static:w.diag", p.nt, mem.KindFloat)
+	if p.spatial {
+		p.cellOf = t.AllocStatic("static:w.cell", p.n, mem.KindWord)
+		p.hist = t.AllocStatic("static:w.hist", p.steps, mem.KindFloat)
+	}
+	rng := newXorshift(17)
+	for i := 0; i < p.n; i++ {
+		for c := 0; c < 3; c++ {
+			t.StoreF(p.coord(p.pos, i, c), 16*rng.unitFloat())
+			t.StoreF(p.coord(p.vel, i, c), 0.1*(rng.unitFloat()-0.5))
+		}
+	}
+	p.molLocks = make([]*sched.Mutex, p.n)
+	for i := range p.molLocks {
+		p.molLocks[i] = t.Machine().NewMutex("w.mol")
+	}
+	p.potLock = t.Machine().NewMutex("w.pot")
+	p.predict = newBarrier(t, "w.predict")
+	p.forces = newBarrier(t, "w.forces")
+	p.correct = newBarrier(t, "w.correct")
+	p.energy = newBarrier(t, "w.energy")
+}
+
+// addForce atomically accumulates df into molecule i's force vector.
+func (p *waterProg) addForce(t *sim.Thread, i int, df [3]float64) {
+	t.Lock(p.molLocks[i])
+	for c := 0; c < 3; c++ {
+		f := t.LoadF(p.coord(p.force, i, c))
+		t.StoreF(p.coord(p.force, i, c), f+df[c])
+	}
+	t.Unlock(p.molLocks[i])
+}
+
+// pairForce3D is a softened Lennard-Jones-style interaction: given the
+// displacement vector, it returns the force on molecule i and the pair's
+// potential energy.
+func pairForce3D(d [3]float64) (df [3]float64, pe float64) {
+	r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2] + 0.5
+	inv := 1 / r2
+	mag := inv * inv * (inv - 0.4) // repulsive core, mild attraction
+	for c := 0; c < 3; c++ {
+		df[c] = mag * d[c]
+	}
+	pe = inv
+	return df, pe
+}
+
+func (p *waterProg) Worker(t *sim.Thread) {
+	tid := t.TID()
+	lo, hi := span(p.n, p.nt, tid)
+
+	for step := 0; step < p.steps; step++ {
+		// Phase 1: predict — clear forces and diagnostics, drift positions.
+		for i := lo; i < hi; i++ {
+			var x0 float64
+			for c := 0; c < 3; c++ {
+				t.StoreF(p.coord(p.force, i, c), 0)
+				x := t.LoadF(p.coord(p.pos, i, c)) + 0.02*t.LoadF(p.coord(p.vel, i, c))
+				t.StoreF(p.coord(p.pos, i, c), x)
+				if c == 0 {
+					x0 = x
+				}
+			}
+			if p.spatial {
+				cell := int(math.Abs(x0)) & 15
+				t.Store(idx(p.cellOf, i), uint64(cell))
+			}
+		}
+		t.StoreF(idx(p.diag, tid), 0)
+		if tid == 0 {
+			if p.spatial && step > 0 {
+				// Record the previous step's total potential; with the
+				// atomicity bug the recorded value is corrupted by lost
+				// updates, so the taint persists across later phases.
+				t.StoreF(idx(p.hist, step-1), t.LoadF(p.pot))
+			}
+			t.StoreF(p.pot, 0)
+		}
+		p.predict.await(t)
+
+		// Phase 2: pairwise forces. Pairs are partitioned by owner of the
+		// lower index; force accumulation is locked per molecule.
+		myPot := 0.0
+		for i := lo; i < hi; i++ {
+			var xi [3]float64
+			for c := 0; c < 3; c++ {
+				xi[c] = t.LoadF(p.coord(p.pos, i, c))
+			}
+			ci := uint64(0)
+			if p.spatial {
+				ci = t.Load(idx(p.cellOf, i))
+			}
+			for j := i + 1; j < p.n; j++ {
+				if p.spatial {
+					// Spatial version: skip far-apart cells.
+					cj := t.Load(idx(p.cellOf, j))
+					d := int(ci) - int(cj)
+					if d < -1 || d > 1 {
+						continue
+					}
+				}
+				var d [3]float64
+				for c := 0; c < 3; c++ {
+					d[c] = xi[c] - t.LoadF(p.coord(p.pos, j, c))
+				}
+				df, pe := pairForce3D(d)
+				t.Compute(90) // the 3-D potential evaluation
+				p.addForce(t, i, [3]float64{-df[0], -df[1], -df[2]})
+				p.addForce(t, j, df)
+				myPot += pe
+			}
+		}
+		p.forces.await(t)
+
+		// Phase 3: correct — integrate velocities with damping so FP
+		// reorder noise never amplifies.
+		for i := lo; i < hi; i++ {
+			for c := 0; c < 3; c++ {
+				v := 0.97*t.LoadF(p.coord(p.vel, i, c)) + 0.005*t.LoadF(p.coord(p.force, i, c))
+				t.StoreF(p.coord(p.vel, i, c), v)
+			}
+			t.Compute(24)
+		}
+		p.correct.await(t)
+
+		// Phase 4: energy reduction into the shared accumulator.
+		if p.bugAtomicity && tid == 3 {
+			// Figure 7(b): unlocked read-modify-write — a preemption
+			// between the load and the store loses concurrent additions.
+			e := t.LoadF(p.pot)
+			t.Compute(2)
+			t.StoreF(p.pot, e+myPot)
+		} else {
+			t.Lock(p.potLock)
+			e := t.LoadF(p.pot)
+			t.StoreF(p.pot, e+myPot)
+			t.Unlock(p.potLock)
+		}
+		if p.bugSemantic && tid == 3 {
+			// Figure 7(a): consume the reduction before it is complete.
+			// The diagnostic should be derived from the final potential;
+			// reading it mid-phase yields a schedule-dependent value.
+			premature := t.LoadF(p.pot)
+			t.StoreF(idx(p.diag, tid), premature/float64(p.n))
+		} else {
+			t.StoreF(idx(p.diag, tid), myPot/float64(p.n))
+		}
+		p.energy.await(t)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"instantcheck/internal/mem"
+	"instantcheck/internal/replay"
+)
+
+// DiffCapture holds the full memory states of two runs at the first
+// checkpoint where their hashes differ — the input to the state-diff
+// debugging tool (§2.3). InstantCheck itself only stores 64-bit hashes;
+// when nondeterminism is found, the prototype re-executes the two differing
+// runs and stores entire states at the point of divergence.
+type DiffCapture struct {
+	// Ordinal is the first checkpoint ordinal at which the runs differ.
+	Ordinal int
+	// Label is the checkpoint's label.
+	Label string
+	// RunA and RunB are the 1-based indices of the two differing runs.
+	RunA int
+	// RunB is the second differing run (the first one whose vector differs
+	// from RunA's).
+	RunB int
+	// A and B are the captured states.
+	A *mem.Snapshot
+	// B is the state of RunB at the same checkpoint.
+	B *mem.Snapshot
+}
+
+// captureDiff re-executes run 1 and run FirstNDetRun with the same seeds,
+// inputs and replay logs, capturing snapshots at the first checkpoint where
+// their hash vectors diverge. Re-execution is exact because the scheduler,
+// allocator and env streams are all replayed.
+func (c Campaign) captureDiff(build Builder, rep *Report) error {
+	runA, runB := 0, rep.FirstNDetRun-1
+	va := rep.Runs[runA].SHVector()
+	vb := rep.Runs[runB].SHVector()
+	n := len(va)
+	if len(vb) < n {
+		n = len(vb)
+	}
+	ord := -1
+	for i := 0; i < n; i++ {
+		if va[i] != vb[i] {
+			ord = i
+			break
+		}
+	}
+	if ord < 0 {
+		// Vectors agree on the common prefix; the divergence is the
+		// checkpoint-count mismatch itself. Snapshot the last common point.
+		if n == 0 {
+			return fmt.Errorf("no common checkpoint between runs %d and %d", runA+1, runB+1)
+		}
+		ord = n - 1
+	}
+	snapAt := map[int]bool{ord: true}
+	// Fresh logs replayed from scratch: re-record deterministically by
+	// replaying run A first (run A is run 1, the recording run).
+	addrLog := replay.NewAddrLog()
+	env := replay.NewEnv(c.InputSeed)
+	resA, _, err := c.runOnce(build, addrLog, env, runA, snapAt)
+	if err != nil {
+		return err
+	}
+	resB, _, err := c.runOnce(build, addrLog, env, runB, snapAt)
+	if err != nil {
+		return err
+	}
+	if ord >= len(resA.Checkpoints) || ord >= len(resB.Checkpoints) {
+		return fmt.Errorf("re-execution produced fewer checkpoints than ordinal %d", ord)
+	}
+	rep.DiffSnapshots = &DiffCapture{
+		Ordinal: ord,
+		Label:   resA.Checkpoints[ord].Label,
+		RunA:    runA + 1,
+		RunB:    runB + 1,
+		A:       resA.Checkpoints[ord].Snapshot,
+		B:       resB.Checkpoints[ord].Snapshot,
+	}
+	return nil
+}

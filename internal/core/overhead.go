@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+
+	"instantcheck/internal/sim"
+)
+
+// CostModel holds the constants of the paper's §7.3 instruction-count
+// overhead model. The paper takes software hashing to cost 5 instructions
+// per byte (citing Jenkins' hash survey), charges the checking schemes for
+// zeroing allocated memory ("HW-InstantCheck_Inc's overhead is due to
+// zeroing-out memory locations to prevent hash corruption"), and otherwise
+// computes *ideal lower bounds* for the software schemes: per-store hashing
+// work for SW-Inc, state-sweep hashing work for SW-Tr, ignoring allocation-
+// table maintenance and cache effects.
+type CostModel struct {
+	// SWHashInstrPerByte is the software hashing cost (paper: 5).
+	SWHashInstrPerByte float64
+	// BytesPerTerm is the input size of one h(addr, value) application:
+	// an 8-byte address plus an 8-byte value.
+	BytesPerTerm float64
+	// HWIgnoreInstrPerWord is the per-word cost of deleting an ignored
+	// word from the hash with hardware support: one load plus the
+	// minus_hash and plus_hash instructions.
+	HWIgnoreInstrPerWord float64
+	// ZeroInstrPerWord is the cost of zero-filling one word at allocation
+	// or erasing it at free (one store).
+	ZeroInstrPerWord float64
+}
+
+// DefaultCostModel mirrors the paper's constants.
+var DefaultCostModel = CostModel{
+	SWHashInstrPerByte:   5,
+	BytesPerTerm:         16,
+	HWIgnoreInstrPerWord: 3,
+	ZeroInstrPerWord:     1,
+}
+
+// TrTableCosts models the overheads §4.2 attributes to a realistic (non-
+// ideal) SW-InstantCheck_Tr: maintaining the table of allocated blocks with
+// their type annotations (an insert per malloc, a delete per free) and the
+// per-word table lookups while sweeping the state. Figure 6 deliberately
+// ignores these ("ideal lower bound"); NonIdealSWTr adds them back so the
+// gap can be quantified.
+type TrTableCosts struct {
+	// InsertInstr is the cost of registering one allocation (hashing the
+	// site, storing extent and type annotation).
+	InsertInstr float64
+	// DeleteInstr is the cost of removing one allocation.
+	DeleteInstr float64
+	// LookupInstrPerWord is the per-swept-word cost of locating the word's
+	// block and type annotation during traversal.
+	LookupInstrPerWord float64
+}
+
+// DefaultTrTableCosts is a conventional accounting: a hash-table insert or
+// delete runs tens of instructions, and the per-word lookup amortizes to a
+// few instructions with block-sorted sweeping.
+var DefaultTrTableCosts = TrTableCosts{
+	InsertInstr:        60,
+	DeleteInstr:        40,
+	LookupInstrPerWord: 4,
+}
+
+// NonIdealSWTr returns the SW-InstantCheck_Tr overhead including the
+// allocation-table maintenance of §4.2, normalized to Native.
+func (cm CostModel) NonIdealSWTr(tc TrTableCosts, c sim.Counters) float64 {
+	native := float64(c.Instr)
+	if native == 0 {
+		native = 1
+	}
+	zero := float64(c.AllocZeroWords+c.FreeEraseWords) * cm.ZeroInstrPerWord
+	sweepWords := float64(c.CheckpointWords) - float64(c.IgnoredWordChecks)
+	if sweepWords < 0 {
+		sweepWords = 0
+	}
+	perTerm := cm.SWHashInstrPerByte * cm.BytesPerTerm
+	table := float64(c.Allocs)*tc.InsertInstr +
+		float64(c.Frees)*tc.DeleteInstr +
+		sweepWords*tc.LookupInstrPerWord
+	return (native + zero + sweepWords*perTerm + table) / native
+}
+
+// Overhead reports instruction counts for the four configurations of
+// Figure 6, normalized to Native.
+type Overhead struct {
+	// Program names the workload.
+	Program string
+	// NativeInstr is the native instruction count (the denominator).
+	NativeInstr uint64
+	// HWInc, SWIncIdeal and SWTrIdeal are execution costs normalized to
+	// Native (1.0 = no overhead). The paper reports HW ≈ 1.003 average,
+	// SW-Inc-Ideal ≈ 3×, SW-Tr-Ideal ≈ 5× geometric mean.
+	HWInc float64
+	// SWIncIdeal is the ideal lower bound for SW-InstantCheck_Inc.
+	SWIncIdeal float64
+	// SWTrIdeal is the ideal lower bound for SW-InstantCheck_Tr.
+	SWTrIdeal float64
+}
+
+// Overheads evaluates the cost model on one run's counters. Any run's
+// counters work — the checking schemes do not change what the program
+// itself executes — so a single instrumented run yields all four bars,
+// exactly as the paper's Pin model does.
+func (cm CostModel) Overheads(program string, c sim.Counters) Overhead {
+	native := float64(c.Instr)
+	if native == 0 {
+		native = 1
+	}
+	zero := float64(c.AllocZeroWords+c.FreeEraseWords) * cm.ZeroInstrPerWord
+
+	// HW: hashing is free; the checking cost is zero-fill/erase plus the
+	// explicit per-checkpoint deletion of ignored words.
+	hw := native + zero + float64(c.IgnoredWordChecks)*cm.HWIgnoreInstrPerWord
+
+	// SW-Inc ideal: for every store, hash the (addr, old) and (addr, new)
+	// terms in software, plus one load for the old value. Free-erasure and
+	// ignore-deletion pay the same two hash applications per word.
+	perTerm := cm.SWHashInstrPerByte * cm.BytesPerTerm
+	perStore := 2*perTerm + 1
+	swInc := native + zero +
+		float64(c.Stores)*perStore +
+		float64(c.FreeEraseWords)*perStore +
+		float64(c.IgnoredWordChecks)*perStore
+
+	// SW-Tr ideal: sweep the whole hashed state at every checkpoint,
+	// hashing every live word; table maintenance and cache misses are
+	// ignored (ideal). Ignored words simply aren't swept.
+	sweepWords := float64(c.CheckpointWords) - float64(c.IgnoredWordChecks)
+	if sweepWords < 0 {
+		sweepWords = 0
+	}
+	swTr := native + zero + sweepWords*perTerm
+
+	return Overhead{
+		Program:     program,
+		NativeInstr: c.Instr,
+		HWInc:       hw / native,
+		SWIncIdeal:  swInc / native,
+		SWTrIdeal:   swTr / native,
+	}
+}
+
+// GeoMean aggregates per-app overheads the way Figure 6's GEOM bar does.
+func GeoMean(rows []Overhead) Overhead {
+	if len(rows) == 0 {
+		return Overhead{Program: "GEOM"}
+	}
+	var lhw, lsi, lst float64
+	for _, r := range rows {
+		lhw += math.Log(r.HWInc)
+		lsi += math.Log(r.SWIncIdeal)
+		lst += math.Log(r.SWTrIdeal)
+	}
+	n := float64(len(rows))
+	return Overhead{
+		Program:    "GEOM",
+		HWInc:      math.Exp(lhw / n),
+		SWIncIdeal: math.Exp(lsi / n),
+		SWTrIdeal:  math.Exp(lst / n),
+	}
+}
+
+// MeasureOverhead runs the program once under HW-InstantCheck_Inc (to
+// exercise every counter, including ignore-deletion work) and evaluates the
+// cost model.
+func (c Campaign) MeasureOverhead(build Builder) (Overhead, error) {
+	c = c.withDefaults()
+	rep, err := Campaign{
+		Runs:             1,
+		Threads:          c.Threads,
+		BaseScheduleSeed: c.BaseScheduleSeed,
+		InputSeed:        c.InputSeed,
+		SwitchInterval:   c.SwitchInterval,
+		Scheme:           sim.HWInc,
+		Hasher:           c.Hasher,
+		RoundFP:          c.RoundFP,
+		Rounding:         c.Rounding,
+		Ignore:           c.Ignore,
+	}.Check(build)
+	if err != nil {
+		return Overhead{}, err
+	}
+	return DefaultCostModel.Overheads(rep.Program, rep.Runs[0].Counters), nil
+}

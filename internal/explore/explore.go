@@ -1,0 +1,231 @@
+// Package explore implements the systematic-testing application of the
+// InstantCheck primitive (paper §6.2). Systematic testing (CHESS-style)
+// enumerates thread interleavings of a program while checking properties;
+// its search space grows exponentially with the number of scheduling
+// decisions. One way to fight the explosion is to recognize *equivalent
+// states* and prune the search. Comparing entire states in software is too
+// expensive, so CHESS prunes only by happens-before equivalence — which
+// misses schedules that commute to the same state (the paper's Figure 1:
+// two lock acquisition orders, same final state, different happens-before).
+//
+// With InstantCheck's cheap state hashes, pruning can be done by *state
+// equality*: at every quiescent checkpoint (a barrier episode, where every
+// thread is at a known program point) the explorer looks up the pair
+// (checkpoint ordinal, State Hash); if it was already visited, the
+// continuation subtree is identical to one explored before, and the run is
+// aborted on the spot. This is both faster (more schedules pruned) and
+// more precise (detects equal states even when the synchronization order
+// differs) than happens-before pruning.
+//
+// The explorer is a stateless-search DFS over scheduling decisions, driven
+// through the simulator's controlled scheduler: a scripted decider replays
+// a prefix of choices and takes the first option afterwards, recording
+// every decision point it passes; the explorer then branches on the
+// recorded free decisions.
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"instantcheck/internal/ihash"
+	"instantcheck/internal/replay"
+	"instantcheck/internal/sim"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// Threads is the program's worker count.
+	Threads int
+	// PreemptEvery inserts a scheduling decision every k simulated
+	// operations in addition to the decisions at blocking points; 0
+	// explores only blocking-point nondeterminism (non-preemptive
+	// schedules).
+	PreemptEvery int
+	// MaxRuns bounds the number of schedules executed (0 = 100000).
+	MaxRuns int
+	// MaxDecisions bounds the branching depth considered per run: free
+	// decisions beyond it are not branched on (0 = unlimited). This is
+	// the "bounded" in bounded systematic testing.
+	MaxDecisions int
+	// Prune enables state-hash pruning at quiescent checkpoints.
+	Prune bool
+	// Scheme selects the hashing scheme (default HWInc).
+	Scheme sim.Scheme
+	// RoundFP enables FP rounding for the state hashes.
+	RoundFP bool
+	// InputSeed fixes the program's replayed input.
+	InputSeed int64
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Runs is the number of schedules executed (including aborted ones).
+	Runs int
+	// CompletedRuns is the number of schedules that ran to the end.
+	CompletedRuns int
+	// PrunedRuns is the number of schedules aborted by state-hash pruning.
+	PrunedRuns int
+	// FinalStates maps each distinct final State Hash to the number of
+	// completed runs that produced it. One entry means the program is
+	// externally deterministic across the explored schedules.
+	FinalStates map[ihash.Digest]int
+	// StatesSeen is the number of distinct (checkpoint, hash) pairs
+	// encountered.
+	StatesSeen int
+	// Exhausted is true when the whole bounded schedule tree was covered
+	// within MaxRuns.
+	Exhausted bool
+}
+
+// Deterministic reports whether every completed schedule ended in the same
+// state.
+func (r *Result) Deterministic() bool { return len(r.FinalStates) <= 1 }
+
+// errPruned marks a run cancelled by state-hash pruning.
+var errPruned = errors.New("explore: state already visited")
+
+// decision records one branching point encountered during a run.
+type decision struct {
+	options int
+	chosen  int
+}
+
+// scriptedDecider replays a choice prefix, then follows a deterministic
+// round-robin default, recording every decision point. The default must
+// rotate rather than always taking option 0: a fixed choice can starve a
+// program that spins on a flag (hand-coded synchronization) by re-picking
+// the spinner forever, while rotation guarantees progress.
+type scriptedDecider struct {
+	prefix       []int
+	preemptEvery int
+	trace        []decision
+}
+
+// SwitchBudget implements sched.Decider.
+func (d *scriptedDecider) SwitchBudget() int {
+	if d.preemptEvery <= 0 {
+		return 1 << 30 // switch only at blocking points
+	}
+	return d.preemptEvery
+}
+
+// Pick implements sched.Decider: scripted prefix first, then round-robin.
+func (d *scriptedDecider) Pick(n int) int {
+	i := len(d.trace)
+	choice := i % n
+	if i < len(d.prefix) {
+		choice = d.prefix[i]
+		if choice >= n {
+			// Should not happen if replay is exact; clamp defensively so a
+			// broken script fails loudly via a different schedule rather
+			// than an index panic.
+			choice = n - 1
+		}
+	}
+	d.trace = append(d.trace, decision{options: n, chosen: choice})
+	return choice
+}
+
+// stateKey identifies a quiescent program state.
+type stateKey struct {
+	ordinal int
+	sh      ihash.Digest
+}
+
+// Systematic enumerates the program's bounded schedule tree and returns
+// coverage statistics. With Prune set, subtrees rooted at already-visited
+// quiescent states are cut.
+func Systematic(build func() sim.Program, o Options) (*Result, error) {
+	if o.Threads <= 0 {
+		return nil, fmt.Errorf("explore: Threads must be positive")
+	}
+	maxRuns := o.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 100000
+	}
+	scheme := o.Scheme
+	if scheme == sim.Native {
+		scheme = sim.HWInc
+	}
+
+	res := &Result{FinalStates: make(map[ihash.Digest]int)}
+	seen := make(map[stateKey]bool)
+	env := replay.NewEnv(o.InputSeed)
+	addrLog := replay.NewAddrLog()
+
+	// DFS over choice prefixes.
+	stack := [][]int{nil}
+	for len(stack) > 0 && res.Runs < maxRuns {
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		d := &scriptedDecider{prefix: prefix, preemptEvery: o.PreemptEvery}
+		pruned := false
+		hook := func(cp sim.Checkpoint) error {
+			if !o.Prune || cp.Label == "end" {
+				return nil
+			}
+			// Checkpoints reached before the scripted prefix is consumed
+			// lie on a path shared with the parent schedule; their states
+			// are necessarily already marked and must not prune this run
+			// before it diverges.
+			if len(d.trace) < len(d.prefix) {
+				return nil
+			}
+			key := stateKey{cp.Ordinal, cp.SH}
+			if seen[key] {
+				pruned = true
+				return errPruned
+			}
+			seen[key] = true
+			return nil
+		}
+		m := sim.NewMachine(sim.Config{
+			Threads:        o.Threads,
+			Scheme:         scheme,
+			RoundFP:        o.RoundFP,
+			Decider:        d,
+			CheckpointHook: hook,
+			Env:            env,
+			AddrLog:        addrLog,
+		})
+		r, err := m.Run(build())
+		res.Runs++
+		switch {
+		case err == nil:
+			res.CompletedRuns++
+			res.FinalStates[r.FinalSH()]++
+			for _, cp := range r.Checkpoints {
+				if cp.Label != "end" {
+					seen[stateKey{cp.Ordinal, cp.SH}] = true
+				}
+			}
+		case pruned && errors.Is(err, errPruned):
+			res.PrunedRuns++
+		default:
+			return nil, fmt.Errorf("explore: run %d: %w", res.Runs, err)
+		}
+
+		// Branch on the free decisions this run took (beyond the prefix),
+		// in reverse order so the DFS explores left-to-right.
+		limit := len(d.trace)
+		if o.MaxDecisions > 0 && o.MaxDecisions < limit {
+			limit = o.MaxDecisions
+		}
+		for i := limit - 1; i >= len(prefix); i-- {
+			dec := d.trace[i]
+			for c := dec.options - 1; c >= 1; c-- {
+				branch := make([]int, i+1)
+				for j := 0; j < i; j++ {
+					branch[j] = d.trace[j].chosen
+				}
+				branch[i] = c
+				stack = append(stack, branch)
+			}
+		}
+	}
+	res.StatesSeen = len(seen)
+	res.Exhausted = len(stack) == 0
+	return res, nil
+}

@@ -1,0 +1,175 @@
+// Package fpround models the MHM's floating-point round-off unit (paper
+// §3.1, §5). Parallel programs that reduce FP values in interleaving-
+// dependent order produce results that differ in the low mantissa bits from
+// run to run; bit-by-bit state comparison would flag all of them as
+// nondeterministic. InstantCheck therefore optionally rounds FP values
+// before hashing. The paper offers expert programmers two policies:
+//
+//   - zero out the least-significant M bits of the mantissa — discards small
+//     *relative* differences (implemented as an AND mask, as in hardware);
+//   - floor to the number with only N decimal digits — discards small
+//     *absolute* differences (the x86-rounding-style operation used in
+//     systematic testing).
+//
+// The default used throughout the paper's evaluation is rounding to the
+// closest 0.001, i.e. FloorDecimal(3).
+package fpround
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mode selects the rounding policy.
+type Mode int
+
+const (
+	// Off performs no rounding: FP values are hashed bit-by-bit.
+	Off Mode = iota
+	// ZeroMantissa clears the M least-significant mantissa bits.
+	ZeroMantissa
+	// FloorDecimal floors the value to N decimal digits.
+	FloorDecimal
+)
+
+// String returns the policy name.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case ZeroMantissa:
+		return "zero-mantissa"
+	case FloorDecimal:
+		return "floor-decimal"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Policy is a configured round-off unit. The zero Policy is Off.
+// Policies are immutable values and safe for concurrent use.
+type Policy struct {
+	mode Mode
+	// param is M (mantissa bits) for ZeroMantissa, N (decimal digits) for
+	// FloorDecimal.
+	param int
+}
+
+// None is the disabled policy: values pass through unchanged.
+var None = Policy{}
+
+// Default is the paper's default: round to the closest 0.001 (§5),
+// implemented as FloorDecimal with N = 3.
+var Default = NewFloorDecimal(3)
+
+// NewZeroMantissa returns a policy that zeroes the m least-significant
+// mantissa bits of an IEEE-754 double. m is clamped to [0, 52].
+func NewZeroMantissa(m int) Policy {
+	if m < 0 {
+		m = 0
+	}
+	if m > 52 {
+		m = 52
+	}
+	return Policy{mode: ZeroMantissa, param: m}
+}
+
+// NewFloorDecimal returns a policy that floors values to n decimal digits.
+// n is clamped to [0, 15] (beyond 15 digits a float64 has no room to care).
+func NewFloorDecimal(n int) Policy {
+	if n < 0 {
+		n = 0
+	}
+	if n > 15 {
+		n = 15
+	}
+	return Policy{mode: FloorDecimal, param: n}
+}
+
+// Mode reports the policy's rounding mode.
+func (p Policy) Mode() Mode { return p.mode }
+
+// Param returns M for ZeroMantissa or N for FloorDecimal, 0 for Off.
+func (p Policy) Param() int { return p.param }
+
+// Enabled reports whether the policy changes any value.
+func (p Policy) Enabled() bool { return p.mode != Off }
+
+// Round applies the policy to one float64 value.
+//
+// NaNs are canonicalized to a single quiet NaN bit pattern whenever rounding
+// is enabled, because distinct NaN payloads are exactly the kind of
+// insignificant bit-level difference the unit exists to discard. Infinities
+// pass through unchanged.
+func (p Policy) Round(v float64) float64 {
+	switch p.mode {
+	case Off:
+		return v
+	case ZeroMantissa:
+		if math.IsNaN(v) {
+			return canonicalNaN()
+		}
+		bits := math.Float64bits(v)
+		mask := ^uint64(0) << uint(p.param)
+		// Clear only mantissa bits; sign and exponent are untouched.
+		mantMask := mask | ^uint64(1<<52-1)
+		return math.Float64frombits(bits & mantMask)
+	case FloorDecimal:
+		if math.IsNaN(v) {
+			return canonicalNaN()
+		}
+		if math.IsInf(v, 0) {
+			return v
+		}
+		scale := pow10(p.param)
+		if math.Abs(v) >= float64(uint64(1)<<52)/scale {
+			// The value's ULP is at least one bucket: it is already on
+			// (or beyond) the rounding grid, and scaling would lose bits.
+			// Passing it through keeps Round idempotent.
+			return v
+		}
+		// k is the bucket index: the largest integer with k/scale <= v.
+		// math.Floor(v*scale) can be off by one because the product
+		// rounds; the two corrections below pin k exactly in division
+		// space, which makes Round exactly idempotent.
+		k := math.Floor(v * scale)
+		if k/scale > v {
+			k--
+		}
+		if (k+1)/scale <= v {
+			k++
+		}
+		r := k / scale
+		if r == 0 {
+			// Avoid the -0.0 vs +0.0 bit difference after flooring.
+			return 0
+		}
+		return r
+	default:
+		return v
+	}
+}
+
+// RoundBits applies the policy to the raw IEEE-754 bit pattern of a word
+// known to hold a float64 — the form in which the MHM sees Data_old and
+// Data_new on the cache-update wires.
+func (p Policy) RoundBits(bits uint64) uint64 {
+	if p.mode == Off {
+		return bits
+	}
+	return math.Float64bits(p.Round(math.Float64frombits(bits)))
+}
+
+func canonicalNaN() float64 {
+	return math.Float64frombits(0x7ff8000000000000)
+}
+
+// pow10 returns 10^n for small non-negative n without math.Pow's rounding
+// wobble.
+func pow10(n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= 10
+	}
+	return r
+}

@@ -1,0 +1,171 @@
+package fpround
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestOffPassThrough checks the disabled policy is bit-exact.
+func TestOffPassThrough(t *testing.T) {
+	f := func(bits uint64) bool { return None.RoundBits(bits) == bits }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIdempotent property-checks that rounding twice equals rounding once —
+// required for hash-erasure to cancel exactly.
+func TestIdempotent(t *testing.T) {
+	policies := []Policy{
+		Default,
+		NewFloorDecimal(0), NewFloorDecimal(1), NewFloorDecimal(6),
+		NewZeroMantissa(8), NewZeroMantissa(20), NewZeroMantissa(52),
+	}
+	f := func(bits uint64) bool {
+		v := math.Float64frombits(bits)
+		for _, p := range policies {
+			once := p.Round(v)
+			twice := p.Round(once)
+			if math.Float64bits(once) != math.Float64bits(twice) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFloorDecimalCollapsesSmallDiffs checks the paper's default (floor to
+// 0.001) discards the small absolute differences FP reductions produce.
+func TestFloorDecimalCollapsesSmallDiffs(t *testing.T) {
+	p := Default
+	cases := []struct{ a, b float64 }{
+		{1.23456789, 1.23456790},
+		{1.2340000001, 1.2340000002},
+		{-5.4321000001, -5.4321000009},
+		{100.5009999999, 100.5009999991},
+	}
+	for _, c := range cases {
+		if p.Round(c.a) != p.Round(c.b) {
+			t.Errorf("Round(%v)=%v != Round(%v)=%v", c.a, p.Round(c.a), c.b, p.Round(c.b))
+		}
+	}
+	// And it must preserve differences at or above the bucket size.
+	if p.Round(1.234) == p.Round(1.236) {
+		t.Error("distinct milli-buckets collapsed")
+	}
+}
+
+// TestFloorDecimalValues pins concrete flooring behavior.
+func TestFloorDecimalValues(t *testing.T) {
+	p := NewFloorDecimal(3)
+	cases := []struct{ in, want float64 }{
+		{1.23456, 1.234},
+		{-1.23456, -1.235}, // floor, not truncate
+		{0.0004, 0},
+		{-0.0004, -0.001},
+		{2, 2},
+	}
+	for _, c := range cases {
+		if got := p.Round(c.in); got != c.want {
+			t.Errorf("Round(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestZeroMantissa checks the mask semantics: only mantissa bits change,
+// and values whose difference lies in the cleared bits collapse.
+func TestZeroMantissa(t *testing.T) {
+	p := NewZeroMantissa(20)
+	a := 1.0 + math.Ldexp(1, -40) // differs from 1.0 below bit 20 of the mantissa
+	if p.Round(a) != p.Round(1.0) {
+		t.Error("sub-mask difference not discarded")
+	}
+	b := 1.5 // high mantissa bit: must be preserved
+	if p.Round(b) == p.Round(1.0) {
+		t.Error("high mantissa bits were destroyed")
+	}
+	// Sign and exponent untouched.
+	f := func(bits uint64) bool {
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) {
+			return true
+		}
+		r := math.Float64bits(p.Round(v))
+		return r>>52 == bits>>52 // sign+exponent preserved
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNaNCanonicalized checks distinct NaN payloads collapse under any
+// enabled policy.
+func TestNaNCanonicalized(t *testing.T) {
+	nan1 := math.Float64frombits(0x7ff8000000000001)
+	nan2 := math.Float64frombits(0x7ff8000000abcdef)
+	for _, p := range []Policy{Default, NewZeroMantissa(4)} {
+		r1 := math.Float64bits(p.Round(nan1))
+		r2 := math.Float64bits(p.Round(nan2))
+		if r1 != r2 {
+			t.Errorf("%v: NaN payloads not canonicalized: %x vs %x", p.Mode(), r1, r2)
+		}
+	}
+}
+
+// TestInfinityPreserved checks infinities survive rounding.
+func TestInfinityPreserved(t *testing.T) {
+	for _, p := range []Policy{Default, NewZeroMantissa(10)} {
+		if !math.IsInf(p.Round(math.Inf(1)), 1) {
+			t.Errorf("%v: +Inf lost", p.Mode())
+		}
+		if !math.IsInf(p.Round(math.Inf(-1)), -1) {
+			t.Errorf("%v: -Inf lost", p.Mode())
+		}
+	}
+}
+
+// TestNegativeZeroNormalized checks floor-rounding never leaves a -0.0 bit
+// pattern (which would hash differently from +0.0).
+func TestNegativeZeroNormalized(t *testing.T) {
+	p := Default
+	got := p.Round(math.Copysign(0.0004, -1))
+	if math.Float64bits(got) == math.Float64bits(math.Copysign(0, -1)) {
+		t.Error("floor produced -0.0")
+	}
+}
+
+// TestParamClamping checks constructor clamps.
+func TestParamClamping(t *testing.T) {
+	if NewZeroMantissa(-3).Param() != 0 || NewZeroMantissa(99).Param() != 52 {
+		t.Error("ZeroMantissa clamp")
+	}
+	if NewFloorDecimal(-1).Param() != 0 || NewFloorDecimal(30).Param() != 15 {
+		t.Error("FloorDecimal clamp")
+	}
+}
+
+// TestModeStrings pins the mode names.
+func TestModeStrings(t *testing.T) {
+	if Off.String() != "off" || ZeroMantissa.String() != "zero-mantissa" || FloorDecimal.String() != "floor-decimal" {
+		t.Error("mode strings")
+	}
+	if None.Enabled() || !Default.Enabled() {
+		t.Error("Enabled()")
+	}
+}
+
+// TestRoundBitsMatchesRound checks the raw-bit entry point agrees with the
+// float entry point, the property the MHM datapath relies on.
+func TestRoundBitsMatchesRound(t *testing.T) {
+	p := Default
+	f := func(bits uint64) bool {
+		return p.RoundBits(bits) == math.Float64bits(p.Round(math.Float64frombits(bits)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

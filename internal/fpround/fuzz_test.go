@@ -1,0 +1,38 @@
+package fpround
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRoundIdempotent fuzzes the round-off policies over raw bit patterns:
+// rounding must be idempotent (hash-erasure relies on it) and must never
+// produce -0.0 or grow a value's magnitude under FloorDecimal.
+func FuzzRoundIdempotent(f *testing.F) {
+	f.Add(uint64(0x3ff0000000000000), 3, true)
+	f.Add(uint64(0xc00071d66a9675d0), 6, false) // past regression input
+	f.Add(uint64(0x41208a181a107e47), 6, false) // past regression input
+	f.Fuzz(func(t *testing.T, bits uint64, param int, zeroMantissa bool) {
+		var p Policy
+		if zeroMantissa {
+			p = NewZeroMantissa(param % 53)
+		} else {
+			p = NewFloorDecimal(param % 16)
+		}
+		once := p.RoundBits(bits)
+		twice := p.RoundBits(once)
+		if once != twice {
+			t.Fatalf("not idempotent: %#x -> %#x -> %#x", bits, once, twice)
+		}
+		v := math.Float64frombits(bits)
+		r := math.Float64frombits(once)
+		if math.Float64bits(r) == math.Float64bits(math.Copysign(0, -1)) {
+			t.Fatal("produced -0.0")
+		}
+		if !zeroMantissa && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			if r > v+1e-9*math.Abs(v)+1e-12 {
+				t.Fatalf("floor went up: %v -> %v", v, r)
+			}
+		}
+	})
+}

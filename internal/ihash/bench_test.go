@@ -1,0 +1,30 @@
+package ihash
+
+import "testing"
+
+// BenchmarkHashWord measures the location hash — the operation the MHM
+// hardware performs per store (twice: old and new value).
+func BenchmarkHashWord(b *testing.B) {
+	for _, h := range hashers {
+		h := h
+		b.Run(h.Name(), func(b *testing.B) {
+			var sink Digest
+			for i := 0; i < b.N; i++ {
+				sink = sink.Combine(h.HashWord(uint64(i)*8, uint64(i)*0x9e37))
+			}
+			benchSink = sink
+		})
+	}
+}
+
+// BenchmarkAccumulatorWrite measures the full incremental store update
+// (⊖old ⊕new) — the per-store cost of SW-InstantCheck_Inc in this runtime.
+func BenchmarkAccumulatorWrite(b *testing.B) {
+	a := NewAccumulator(nil)
+	for i := 0; i < b.N; i++ {
+		a.Write(uint64(i&1023)*8, uint64(i), uint64(i+1))
+	}
+	benchSink = a.Value()
+}
+
+var benchSink Digest

@@ -1,0 +1,35 @@
+package ihash
+
+import "testing"
+
+// FuzzHashProperties fuzzes the location hash and group laws: h never
+// returns the identity, updates cancel exactly, and permuting two inserts
+// never changes the digest.
+func FuzzHashProperties(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(1))
+	f.Add(uint64(1<<63), ^uint64(0), uint64(42))
+	f.Fuzz(func(t *testing.T, addr, v0, v1 uint64) {
+		for _, h := range hashers {
+			if h.HashWord(addr, v0) == Zero {
+				t.Fatalf("%s: identity hash", h.Name())
+			}
+			a := NewAccumulator(h)
+			a.Insert(addr, v0)
+			before := a.Value()
+			a.Write(addr, v0, v1)
+			a.Write(addr, v1, v0)
+			if a.Value() != before {
+				t.Fatalf("%s: write round-trip broke the digest", h.Name())
+			}
+			x := NewAccumulator(h)
+			x.Insert(addr, v0)
+			x.Insert(addr+8, v1)
+			y := NewAccumulator(h)
+			y.Insert(addr+8, v1)
+			y.Insert(addr, v0)
+			if x.Value() != y.Value() {
+				t.Fatalf("%s: insertion order changed the digest", h.Name())
+			}
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package ihash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var hashers = []Hasher{Mix64{}, CRC64{}}
+
+// TestGroupLaws property-checks that Digest forms an abelian group under
+// Combine — the algebraic foundation of incremental hashing (§2.2).
+func TestGroupLaws(t *testing.T) {
+	commutative := func(a, b uint64) bool {
+		x, y := Digest(a), Digest(b)
+		return x.Combine(y) == y.Combine(x)
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	associative := func(a, b, c uint64) bool {
+		x, y, z := Digest(a), Digest(b), Digest(c)
+		return x.Combine(y).Combine(z) == x.Combine(y.Combine(z))
+	}
+	if err := quick.Check(associative, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+	identity := func(a uint64) bool {
+		return Digest(a).Combine(Zero) == Digest(a)
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error("identity:", err)
+	}
+	inverse := func(a uint64) bool {
+		x := Digest(a)
+		return x.Combine(x.Negate()) == Zero
+	}
+	if err := quick.Check(inverse, nil); err != nil {
+		t.Error("inverse:", err)
+	}
+	subtractCancels := func(a, b uint64) bool {
+		x, y := Digest(a), Digest(b)
+		return x.Combine(y).Subtract(y) == x
+	}
+	if err := quick.Check(subtractCancels, nil); err != nil {
+		t.Error("subtraction:", err)
+	}
+}
+
+// TestWriteCancellation property-checks the incremental update: writing a
+// value and then writing back the original restores the digest exactly.
+func TestWriteCancellation(t *testing.T) {
+	for _, h := range hashers {
+		h := h
+		f := func(addr, v0, v1 uint64) bool {
+			a := NewAccumulator(h)
+			a.Insert(addr, v0)
+			before := a.Value()
+			a.Write(addr, v0, v1)
+			a.Write(addr, v1, v0)
+			return a.Value() == before
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", h.Name(), err)
+		}
+	}
+}
+
+// TestInsertEraseCancellation property-checks that Erase undoes Insert.
+func TestInsertEraseCancellation(t *testing.T) {
+	f := func(addr, v uint64) bool {
+		a := NewAccumulator(nil)
+		a.Insert(addr, v)
+		a.Erase(addr, v)
+		return a.Value() == Zero
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderIndependence property-checks the heart of the scheme: any
+// permutation of the same (addr, value) multiset yields the same digest,
+// and splitting the multiset across several "thread" accumulators and
+// combining them yields the same digest as one accumulator.
+func TestOrderIndependence(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n)%24 + 2
+		type pair struct{ a, v uint64 }
+		pairs := make([]pair, k)
+		for i := range pairs {
+			pairs[i] = pair{rng.Uint64(), rng.Uint64()}
+		}
+
+		single := NewAccumulator(nil)
+		for _, p := range pairs {
+			single.Insert(p.a, p.v)
+		}
+
+		// Shuffled insertion into 3 per-thread accumulators.
+		perm := rng.Perm(k)
+		threads := []*Accumulator{NewAccumulator(nil), NewAccumulator(nil), NewAccumulator(nil)}
+		for i, pi := range perm {
+			threads[i%3].Insert(pairs[pi].a, pairs[pi].v)
+		}
+		combined := CombineAll(threads[0].Value(), threads[1].Value(), threads[2].Value())
+		return combined == single.Value()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPermutationOfValuesDetected checks that swapping the values of two
+// addresses changes the hash: the address is part of h(a, v) precisely so
+// that a permutation of the same values does not collide (§2.2).
+func TestPermutationOfValuesDetected(t *testing.T) {
+	for _, h := range hashers {
+		a := NewAccumulator(h)
+		a.Insert(0x1000, 7)
+		a.Insert(0x2000, 3)
+		b := NewAccumulator(h)
+		b.Insert(0x1000, 3)
+		b.Insert(0x2000, 7)
+		if a.Value() == b.Value() {
+			t.Errorf("%s: permuted values collided", h.Name())
+		}
+	}
+}
+
+// TestFigure2Example replays the paper's Figure 2 worked example: two
+// different interleavings of G += L end with identical State Hashes while
+// the per-thread hashes differ.
+func TestFigure2Example(t *testing.T) {
+	const g = 0x4000
+	// Run (a): thread 0 writes 9 (2+7), thread 1 writes 12 (9+3).
+	th0a, th1a := NewAccumulator(nil), NewAccumulator(nil)
+	th0a.Write(g, 2, 9)
+	th1a.Write(g, 9, 12)
+	// Run (b): thread 1 writes 5 (2+3), thread 0 writes 12 (5+7).
+	th0b, th1b := NewAccumulator(nil), NewAccumulator(nil)
+	th1b.Write(g, 2, 5)
+	th0b.Write(g, 5, 12)
+
+	shA := CombineAll(th0a.Value(), th1a.Value())
+	shB := CombineAll(th0b.Value(), th1b.Value())
+	if shA != shB {
+		t.Errorf("SH differs across equivalent runs: %s vs %s", shA, shB)
+	}
+	if th0a.Value() == th0b.Value() {
+		t.Error("thread hashes should differ across runs (internal nondeterminism)")
+	}
+	// SH must equal the direct delta ⊖h(G,2) ⊕ h(G,12).
+	h := Mix64{}
+	want := Zero.Subtract(h.HashWord(g, 2)).Combine(h.HashWord(g, 12))
+	if shA != want {
+		t.Errorf("SH = %s, want the ⊖h(G,2)⊕h(G,12) delta %s", shA, want)
+	}
+}
+
+// TestDifferentStatesDiffer checks basic collision resistance: random
+// single-word differences always produce different digests (for 64-bit
+// hashes a collision here would be astronomically unlikely).
+func TestDifferentStatesDiffer(t *testing.T) {
+	for _, h := range hashers {
+		h := h
+		f := func(addr, v0, v1 uint64) bool {
+			if v0 == v1 {
+				return true
+			}
+			a := NewAccumulator(h)
+			a.Insert(addr, v0)
+			b := NewAccumulator(h)
+			b.Insert(addr, v1)
+			return a.Value() != b.Value()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%s: %v", h.Name(), err)
+		}
+	}
+}
+
+// TestHashWordNonZero checks h(a, v) never returns the group identity,
+// which would make a word invisible to the state hash.
+func TestHashWordNonZero(t *testing.T) {
+	for _, h := range hashers {
+		h := h
+		f := func(addr, v uint64) bool { return h.HashWord(addr, v) != Zero }
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", h.Name(), err)
+		}
+	}
+}
+
+// TestAvalanche samples the bit-flip behavior of the hashers: flipping one
+// input bit should flip roughly half the output bits on average.
+func TestAvalanche(t *testing.T) {
+	for _, h := range hashers {
+		rng := rand.New(rand.NewSource(42))
+		const samples = 2000
+		totalFlips := 0
+		for i := 0; i < samples; i++ {
+			addr, v := rng.Uint64(), rng.Uint64()
+			base := uint64(h.HashWord(addr, v))
+			bit := uint(rng.Intn(64))
+			flipped := uint64(h.HashWord(addr, v^(1<<bit)))
+			totalFlips += popcount(base ^ flipped)
+		}
+		avg := float64(totalFlips) / samples
+		if avg < 24 || avg > 40 {
+			t.Errorf("%s: average avalanche %f bits, want ≈32", h.Name(), avg)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// TestSetValueRestore checks save/restore round-trips (the basis of the
+// save_hash/restore_hash virtualization support).
+func TestSetValueRestore(t *testing.T) {
+	a := NewAccumulator(nil)
+	a.Insert(1, 2)
+	a.Insert(3, 4)
+	saved := a.Value()
+	a.Reset()
+	if a.Value() != Zero {
+		t.Fatal("reset did not clear")
+	}
+	a.SetValue(saved)
+	if a.Value() != saved {
+		t.Fatal("restore mismatch")
+	}
+}
+
+// TestHasherNames pins the diagnostic names.
+func TestHasherNames(t *testing.T) {
+	if (Mix64{}).Name() != "mix64" {
+		t.Error("mix64 name")
+	}
+	if (CRC64{}).Name() != "crc64-ecma" {
+		t.Error("crc64 name")
+	}
+	if NewAccumulator(nil).Hasher().Name() != "mix64" {
+		t.Error("default hasher should be mix64")
+	}
+}
+
+// TestDigestString pins the hash rendering format.
+func TestDigestString(t *testing.T) {
+	if got := Digest(0xabc).String(); got != "0000000000000abc" {
+		t.Errorf("String() = %q", got)
+	}
+}

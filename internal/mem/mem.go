@@ -1,0 +1,347 @@
+// Package mem implements the simulated shared memory InstantCheck observes:
+// a 64-bit word-grained address space with an allocation table that records,
+// for every live block, its allocation site, extent, and element kind. The
+// table serves three of the paper's mechanisms:
+//
+//   - traversal hashing (SW-InstantCheck_Tr, §4.2) walks the static segment
+//     plus the table of live allocations;
+//   - the state-diff debugging tool (§2.3) maps a differing address back to
+//     the source line that allocated it and the offset within the block;
+//   - FP round-off during traversal needs to know which words hold doubles,
+//     information the paper encodes as per-site type annotations.
+//
+// Memory is byte-addressed with 8-byte-aligned 8-byte words, matching the
+// paper's model of hashing (virtual address, value) pairs at store
+// granularity. Allocations are zero-filled, as InstantCheck's allocator
+// interception does (§5), so that uninitialized garbage can never corrupt
+// the state hash.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WordSize is the grain of the simulated memory in bytes.
+const WordSize = 8
+
+// Kind describes what a word holds, so the hashing layers know whether the
+// FP round-off unit applies. The paper obtains this from the compiler (LLVM
+// marks FP stores) for the incremental schemes and from allocation-site type
+// annotations for the traversal scheme.
+type Kind uint8
+
+const (
+	// KindWord is an integer/pointer/opaque 64-bit word.
+	KindWord Kind = iota
+	// KindFloat is an IEEE-754 float64 stored as its bit pattern.
+	KindFloat
+)
+
+// String returns "word" or "float".
+func (k Kind) String() string {
+	if k == KindFloat {
+		return "float"
+	}
+	return "word"
+}
+
+// Block describes one allocation (or one static segment entry).
+type Block struct {
+	// Base is the address of the first word. Always WordSize-aligned.
+	Base uint64
+	// Words is the block length in 8-byte words.
+	Words int
+	// Site is the allocation-site label ("file:line" morally; any stable
+	// string). The state-diff tool reports it to the programmer.
+	Site string
+	// Kind is the element kind of every word in the block. Mixed-kind
+	// records are modeled as adjacent blocks of uniform kind, which is how
+	// the paper's recursive type annotations flatten out.
+	Kind Kind
+	// Static marks blocks in the static data segment: allocated at setup,
+	// never freed, always part of the hashed state.
+	Static bool
+	// Seq is the per-site allocation sequence number (0-based). Together
+	// with Site it identifies "the j-th allocation at this site", the key
+	// under which the deterministic-replay allocator logs addresses.
+	Seq int
+	// Live is false once the block has been freed.
+	Live bool
+}
+
+// End returns the address one past the last word of the block.
+func (b *Block) End() uint64 { return b.Base + uint64(b.Words)*WordSize }
+
+// Contains reports whether addr falls inside the block.
+func (b *Block) Contains(addr uint64) bool { return addr >= b.Base && addr < b.End() }
+
+const (
+	// StaticBase is where the static data segment begins.
+	StaticBase uint64 = 0x0000_0000_0001_0000
+	// HeapBase is where dynamic allocation begins.
+	HeapBase  uint64 = 0x0000_0000_1000_0000
+	pageWords        = 512
+	pageBytes        = pageWords * WordSize
+)
+
+type page [pageWords]uint64
+
+// Memory is one simulated address space. It is not safe for concurrent use;
+// the serializing scheduler guarantees only one thread touches it at a time.
+type Memory struct {
+	pages map[uint64]*page
+
+	// blocks maps base address -> block, for both live and freed heap
+	// blocks (freed ones kept so the state-diff tool can still attribute
+	// dangling pointers). order holds live block bases sorted ascending.
+	blocks map[uint64]*Block
+	order  []uint64 // sorted bases of live blocks (heap and static)
+
+	staticNext uint64
+	heapNext   uint64
+
+	// AddrHook, when non-nil, intercepts heap allocation placement: given
+	// (site, seq, words) it may return a previously logged address. This is
+	// the attachment point for the paper's malloc record/replay (§5).
+	AddrHook func(site string, seq int, words int) (addr uint64, ok bool)
+
+	siteSeq map[string]int
+
+	liveWords   int
+	staticWords int
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{
+		pages:      make(map[uint64]*page),
+		blocks:     make(map[uint64]*Block),
+		staticNext: StaticBase,
+		heapNext:   HeapBase,
+		siteSeq:    make(map[string]int),
+	}
+}
+
+// AllocStatic reserves words in the static segment under the given site
+// label. Static memory is always part of the hashed program state.
+func (m *Memory) AllocStatic(site string, words int, kind Kind) uint64 {
+	if words <= 0 {
+		panic("mem: static allocation of non-positive size")
+	}
+	base := m.staticNext
+	m.staticNext += roundUpWords(words)
+	b := &Block{Base: base, Words: words, Site: site, Kind: kind, Static: true, Live: true}
+	m.insertBlock(b)
+	m.staticWords += words
+	m.liveWords += words
+	return base
+}
+
+// Alloc allocates a zero-filled block of words under the given site label
+// and returns its base address. If AddrHook supplies a logged address for
+// (site, seq) the block is placed there, implementing deterministic replay
+// of malloc; otherwise a fresh bump address is used.
+func (m *Memory) Alloc(site string, words int, kind Kind) *Block {
+	if words <= 0 {
+		panic("mem: allocation of non-positive size")
+	}
+	seq := m.siteSeq[site]
+	m.siteSeq[site] = seq + 1
+	var base uint64
+	placed := false
+	if m.AddrHook != nil {
+		if a, ok := m.AddrHook(site, seq, words); ok {
+			base = a
+			placed = true
+		}
+	}
+	if !placed {
+		base = m.heapNext
+		m.heapNext += roundUpWords(words)
+	} else if base >= m.heapNext {
+		m.heapNext = base + roundUpWords(words)
+	}
+	if old, exists := m.blocks[base]; exists && old.Live {
+		panic(fmt.Sprintf("mem: allocator placed block at %#x which is still live (site %s)", base, old.Site))
+	}
+	b := &Block{Base: base, Words: words, Site: site, Kind: kind, Seq: seq, Live: true}
+	m.insertBlock(b)
+	m.liveWords += words
+	// Zero-fill, as InstantCheck's allocator interception does.
+	for i := 0; i < words; i++ {
+		m.storeRaw(base+uint64(i)*WordSize, 0)
+	}
+	return b
+}
+
+// Free retires the block based at base and returns it. The block's current
+// word values remain readable through ReadFreed for hash-erasure purposes,
+// but the block no longer belongs to the traversed state. Freeing a static
+// block or an address that is not a live block base panics.
+func (m *Memory) Free(base uint64) *Block {
+	b := m.blocks[base]
+	if b == nil || !b.Live {
+		panic(fmt.Sprintf("mem: free of %#x which is not a live block", base))
+	}
+	if b.Static {
+		panic(fmt.Sprintf("mem: free of static block %q at %#x", b.Site, base))
+	}
+	b.Live = false
+	m.removeOrder(base)
+	m.liveWords -= b.Words
+	return b
+}
+
+// Load returns the word at addr. Loading outside any live block panics:
+// it is either a use-after-free or a wild read in the workload kernel.
+func (m *Memory) Load(addr uint64) uint64 {
+	m.checkLive(addr, "load")
+	return m.loadRaw(addr)
+}
+
+// Store writes value at addr and returns the previous value — the Data_old
+// the MHM reads from the L1 line before the update (§3.1). Storing outside
+// any live block panics.
+func (m *Memory) Store(addr, value uint64) (old uint64) {
+	m.checkLive(addr, "store")
+	old = m.loadRaw(addr)
+	m.storeRaw(addr, value)
+	return old
+}
+
+// Peek reads a word without liveness checking (for snapshots and the
+// hash-erasure path on free).
+func (m *Memory) Peek(addr uint64) uint64 { return m.loadRaw(addr) }
+
+// BlockAt returns the live block containing addr, or nil.
+func (m *Memory) BlockAt(addr uint64) *Block {
+	i := sort.Search(len(m.order), func(i int) bool { return m.order[i] > addr })
+	if i == 0 {
+		return nil
+	}
+	b := m.blocks[m.order[i-1]]
+	if b != nil && b.Live && b.Contains(addr) {
+		return b
+	}
+	return nil
+}
+
+// BlockByBase returns the block (live or freed) whose base is exactly base,
+// or nil. Freed blocks are retained for state-diff attribution.
+func (m *Memory) BlockByBase(base uint64) *Block { return m.blocks[base] }
+
+// LiveWords returns the number of words in the hashed state (static + live
+// heap) — the quantity SW-InstantCheck_Tr sweeps at each checkpoint.
+func (m *Memory) LiveWords() int { return m.liveWords }
+
+// StaticWords returns the size of the static segment in words.
+func (m *Memory) StaticWords() int { return m.staticWords }
+
+// Traverse visits every word of the hashed state (static segment plus live
+// heap blocks) in ascending address order, calling fn(addr, value, kind).
+// This is the sweep SW-InstantCheck_Tr performs at each checkpoint.
+func (m *Memory) Traverse(fn func(addr, value uint64, kind Kind)) {
+	for _, base := range m.order {
+		b := m.blocks[base]
+		for i := 0; i < b.Words; i++ {
+			addr := b.Base + uint64(i)*WordSize
+			fn(addr, m.loadRaw(addr), b.Kind)
+		}
+	}
+}
+
+// TraverseBlocks visits every live block in ascending address order.
+func (m *Memory) TraverseBlocks(fn func(b *Block)) {
+	for _, base := range m.order {
+		fn(m.blocks[base])
+	}
+}
+
+// Snapshot captures the full hashed state for the state-diff tool: a copy
+// of every live word plus the block table. The paper's prototype does the
+// same when re-executing the two differing runs (§2.3).
+func (m *Memory) Snapshot() *Snapshot {
+	s := &Snapshot{Words: make(map[uint64]uint64, m.liveWords)}
+	for _, base := range m.order {
+		b := m.blocks[base]
+		copied := *b
+		s.Blocks = append(s.Blocks, &copied)
+		for i := 0; i < b.Words; i++ {
+			addr := b.Base + uint64(i)*WordSize
+			s.Words[addr] = m.loadRaw(addr)
+		}
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of the hashed state.
+type Snapshot struct {
+	// Blocks lists the live blocks in ascending base order.
+	Blocks []*Block
+	// Words maps address -> value for every live word.
+	Words map[uint64]uint64
+}
+
+// BlockAt returns the snapshot block containing addr, or nil.
+func (s *Snapshot) BlockAt(addr uint64) *Block {
+	i := sort.Search(len(s.Blocks), func(i int) bool { return s.Blocks[i].Base > addr })
+	if i == 0 {
+		return nil
+	}
+	b := s.Blocks[i-1]
+	if b.Contains(addr) {
+		return b
+	}
+	return nil
+}
+
+func (m *Memory) insertBlock(b *Block) {
+	m.blocks[b.Base] = b
+	i := sort.Search(len(m.order), func(i int) bool { return m.order[i] >= b.Base })
+	m.order = append(m.order, 0)
+	copy(m.order[i+1:], m.order[i:])
+	m.order[i] = b.Base
+}
+
+func (m *Memory) removeOrder(base uint64) {
+	i := sort.Search(len(m.order), func(i int) bool { return m.order[i] >= base })
+	if i < len(m.order) && m.order[i] == base {
+		m.order = append(m.order[:i], m.order[i+1:]...)
+	}
+}
+
+func (m *Memory) checkLive(addr uint64, op string) {
+	if addr%WordSize != 0 {
+		panic(fmt.Sprintf("mem: misaligned %s at %#x", op, addr))
+	}
+	if m.BlockAt(addr) == nil {
+		panic(fmt.Sprintf("mem: %s at %#x outside any live block (use-after-free or wild access)", op, addr))
+	}
+}
+
+func (m *Memory) loadRaw(addr uint64) uint64 {
+	p := m.pages[addr/pageBytes]
+	if p == nil {
+		return 0
+	}
+	return p[(addr%pageBytes)/WordSize]
+}
+
+func (m *Memory) storeRaw(addr, value uint64) {
+	pn := addr / pageBytes
+	p := m.pages[pn]
+	if p == nil {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	p[(addr%pageBytes)/WordSize] = value
+}
+
+func roundUpWords(words int) uint64 {
+	// Round block footprints to 16 words so distinct sites never collide
+	// and replayed addresses stay stable when sizes wobble slightly.
+	const chunk = 16
+	w := (words + chunk - 1) / chunk * chunk
+	return uint64(w) * WordSize
+}

@@ -1,0 +1,40 @@
+package mhm
+
+import (
+	"testing"
+
+	"instantcheck/internal/fpround"
+	"instantcheck/internal/ihash"
+)
+
+var benchTH ihash.Digest
+
+// BenchmarkOnStore measures the modeled MHM store path (basic design).
+func BenchmarkOnStore(b *testing.B) {
+	u := New(nil, fpround.Default)
+	for i := 0; i < b.N; i++ {
+		u.OnStore(uint64(i&4095)*8, uint64(i), uint64(i+1), false)
+	}
+	benchTH = u.TH()
+}
+
+// BenchmarkOnStoreRounded measures the FP path through the round-off unit.
+func BenchmarkOnStoreRounded(b *testing.B) {
+	u := New(nil, fpround.Default)
+	u.StartFPRounding()
+	bits := uint64(0x3ff3c0ca428c59fb) // 1.2345...
+	for i := 0; i < b.N; i++ {
+		u.OnStore(uint64(i&4095)*8, bits, bits+uint64(i&7), true)
+	}
+	benchTH = u.TH()
+}
+
+// BenchmarkOnStoreClustered measures the Figure 3(b) parallel datapath
+// model with its deferred merge.
+func BenchmarkOnStoreClustered(b *testing.B) {
+	u := NewClustered(nil, fpround.Default, 4, nil)
+	for i := 0; i < b.N; i++ {
+		u.OnStore(uint64(i&4095)*8, uint64(i), uint64(i+1), false)
+	}
+	benchTH = u.TH()
+}

@@ -1,0 +1,228 @@
+// Package mhm models the Memory-State Hashing Module of HW-InstantCheck_Inc
+// (paper §3): the per-core unit in the L1 cache controller that keeps a
+// 64-bit Thread Hash (TH) register and, for every write that updates the L1,
+// computes
+//
+//	TH = TH ⊖ hash(V_addr, Data_old) ⊕ hash(V_addr, Data_new)
+//
+// All MHM operations are core-local; the global State Hash is obtained in
+// software by modulo-adding the TH registers of all cores.
+//
+// The model implements the full software interface of Figure 4
+// (start/stop_hashing, save/restore_hash, minus_hash, plus_hash,
+// start/stop_FP_rounding), the FP round-off unit placed in front of the hash
+// unit (§3.1), and both datapath variants of Figure 3: the basic
+// single-register design and the highly-parallel multi-cluster design in
+// which hash terms are dispatched to independent clusters in arbitrary order
+// and merged into TH later. Because ⊕ is commutative and associative, every
+// dispatch order yields the same TH — the property §3.2 exploits for
+// flexible implementations, and which this package's tests verify.
+package mhm
+
+import (
+	"instantcheck/internal/fpround"
+	"instantcheck/internal/ihash"
+)
+
+// Stats counts the MHM activity of one thread, feeding the paper's
+// instruction-count overhead model (§7.3).
+type Stats struct {
+	// HashedStores is the number of stores whose hash terms entered TH.
+	HashedStores uint64
+	// SkippedStores is the number of stores seen while hashing was stopped.
+	SkippedStores uint64
+	// RoundedStores is the number of hashed stores that went through the
+	// FP round-off unit.
+	RoundedStores uint64
+	// MinusOps and PlusOps count explicit minus_hash/plus_hash instructions.
+	MinusOps uint64
+	// PlusOps counts explicit plus_hash instructions.
+	PlusOps uint64
+	// Saves and Restores count save_hash/restore_hash instructions.
+	Saves uint64
+	// Restores counts restore_hash instructions.
+	Restores uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.HashedStores += o.HashedStores
+	s.SkippedStores += o.SkippedStores
+	s.RoundedStores += o.RoundedStores
+	s.MinusOps += o.MinusOps
+	s.PlusOps += o.PlusOps
+	s.Saves += o.Saves
+	s.Restores += o.Restores
+}
+
+// Dispatcher selects, for the i-th hash term of a store, which cluster of a
+// multi-cluster MHM receives it. Any pure or stateful policy is legal: §3.2
+// guarantees the final TH is independent of the choice.
+type Dispatcher func(term int) int
+
+// Unit is one core's MHM. It is owned by a single simulated thread, exactly
+// as a TH register is core-local. The zero value is not usable; call New.
+type Unit struct {
+	hasher   ihash.Hasher
+	th       ihash.Digest
+	clusters []ihash.Digest
+	dispatch Dispatcher
+	nextTerm int
+
+	hashing  bool
+	rounding bool
+	policy   fpround.Policy
+
+	stats Stats
+}
+
+// New returns a basic (Figure 3a) MHM using the given location hash, with
+// hashing initially enabled and FP rounding off. policy configures what the
+// round-off unit does once start_FP_rounding executes. A nil hasher selects
+// ihash.Mix64.
+func New(h ihash.Hasher, policy fpround.Policy) *Unit {
+	if h == nil {
+		h = ihash.Mix64{}
+	}
+	return &Unit{hasher: h, hashing: true, policy: policy}
+}
+
+// NewClustered returns a Figure 3(b) MHM with n independent clusters and the
+// given dispatch policy (nil means round-robin). Partial sums accumulate in
+// the clusters and are merged whenever TH is read.
+func NewClustered(h ihash.Hasher, policy fpround.Policy, n int, d Dispatcher) *Unit {
+	u := New(h, policy)
+	if n < 1 {
+		n = 1
+	}
+	u.clusters = make([]ihash.Digest, n)
+	u.dispatch = d
+	return u
+}
+
+// OnStore is invoked by the write-buffer drain path for every store the
+// thread performs: addr is the virtual address, old/new the raw 64-bit word
+// values, isFP whether the store instruction was an FP store (the CNTR input
+// of Figure 3a, produced by the compiler marking FP writes, §5).
+func (u *Unit) OnStore(addr, old, new uint64, isFP bool) {
+	if !u.hashing {
+		u.stats.SkippedStores++
+		return
+	}
+	u.stats.HashedStores++
+	if isFP && u.rounding {
+		u.stats.RoundedStores++
+		old = u.policy.RoundBits(old)
+		new = u.policy.RoundBits(new)
+	}
+	u.accumulate(u.hasher.HashWord(addr, old).Negate())
+	u.accumulate(ihash.Digest(u.hasher.HashWord(addr, new)))
+}
+
+// MinusHash implements the minus_hash instruction: subtract the hash of the
+// current value at addr from TH. cur is the value software read from addr;
+// isFP routes it through the round-off unit under the same conditions a
+// store would take.
+func (u *Unit) MinusHash(addr, cur uint64, isFP bool) {
+	u.stats.MinusOps++
+	if isFP && u.rounding {
+		cur = u.policy.RoundBits(cur)
+	}
+	u.accumulate(u.hasher.HashWord(addr, cur).Negate())
+}
+
+// PlusHash implements the plus_hash instruction: add to TH the hash of val
+// as if val were the current value at addr.
+func (u *Unit) PlusHash(addr, val uint64, isFP bool) {
+	u.stats.PlusOps++
+	if isFP && u.rounding {
+		val = u.policy.RoundBits(val)
+	}
+	u.accumulate(ihash.Digest(u.hasher.HashWord(addr, val)))
+}
+
+// StartHashing implements start_hashing.
+func (u *Unit) StartHashing() { u.hashing = true }
+
+// StopHashing implements stop_hashing; stores seen while stopped do not
+// affect TH (used to run analysis code in the checked address space, §3.3).
+func (u *Unit) StopHashing() { u.hashing = false }
+
+// Hashing reports whether the unit is currently hashing stores.
+func (u *Unit) Hashing() bool { return u.hashing }
+
+// StartFPRounding implements start_FP_rounding.
+func (u *Unit) StartFPRounding() { u.rounding = true }
+
+// StopFPRounding implements stop_FP_rounding.
+func (u *Unit) StopFPRounding() { u.rounding = false }
+
+// Rounding reports whether FP values are being rounded before hashing.
+func (u *Unit) Rounding() bool { return u.rounding }
+
+// Policy returns the configured round-off policy.
+func (u *Unit) Policy() fpround.Policy { return u.policy }
+
+// SaveHash implements save_hash: it returns the TH register value (merging
+// cluster partial sums first, as a real implementation would drain clusters
+// before a context switch).
+func (u *Unit) SaveHash() ihash.Digest {
+	u.stats.Saves++
+	return u.TH()
+}
+
+// RestoreHash implements restore_hash: it loads TH from a previously saved
+// value. Cluster partial sums are cleared — they were folded into the saved
+// value by SaveHash.
+func (u *Unit) RestoreHash(d ihash.Digest) {
+	u.stats.Restores++
+	u.th = d
+	for i := range u.clusters {
+		u.clusters[i] = ihash.Zero
+	}
+}
+
+// TH returns the current Thread Hash, merging any cluster partial sums into
+// the register (the deferred merge of Figure 3b).
+func (u *Unit) TH() ihash.Digest {
+	th := u.th
+	for _, c := range u.clusters {
+		th = th.Combine(c)
+	}
+	return th
+}
+
+// Stats returns a copy of the unit's activity counters.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// Hasher returns the location hash in use.
+func (u *Unit) Hasher() ihash.Hasher { return u.hasher }
+
+func (u *Unit) accumulate(term ihash.Digest) {
+	if len(u.clusters) == 0 {
+		u.th = u.th.Combine(term)
+		return
+	}
+	i := u.nextTerm
+	u.nextTerm++
+	var c int
+	if u.dispatch != nil {
+		c = u.dispatch(i) % len(u.clusters)
+		if c < 0 {
+			c += len(u.clusters)
+		}
+	} else {
+		c = i % len(u.clusters)
+	}
+	u.clusters[c] = u.clusters[c].Combine(term)
+}
+
+// CombineTH folds per-core Thread Hashes into the State Hash, the rare
+// software-side global operation of §2.2: SH = TH_0 ⊕ TH_1 ⊕ … .
+func CombineTH(units ...*Unit) ihash.Digest {
+	ths := make([]ihash.Digest, len(units))
+	for i, u := range units {
+		ths[i] = u.TH()
+	}
+	return ihash.CombineAll(ths...)
+}

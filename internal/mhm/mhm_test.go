@@ -1,0 +1,259 @@
+package mhm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"instantcheck/internal/fpround"
+	"instantcheck/internal/ihash"
+)
+
+// op is one randomized MHM operation for the equivalence properties.
+type op struct {
+	kind int // 0 store, 1 minus, 2 plus
+	addr uint64
+	old  uint64
+	new  uint64
+	isFP bool
+}
+
+func randomOps(rng *rand.Rand, n int) []op {
+	ops := make([]op, n)
+	for i := range ops {
+		ops[i] = op{
+			kind: rng.Intn(3),
+			addr: rng.Uint64() &^ 7,
+			old:  rng.Uint64(),
+			new:  rng.Uint64(),
+			isFP: rng.Intn(2) == 0,
+		}
+	}
+	return ops
+}
+
+func apply(u *Unit, ops []op) {
+	for _, o := range ops {
+		switch o.kind {
+		case 0:
+			u.OnStore(o.addr, o.old, o.new, o.isFP)
+		case 1:
+			u.MinusHash(o.addr, o.old, o.isFP)
+		case 2:
+			u.PlusHash(o.addr, o.new, o.isFP)
+		}
+	}
+}
+
+// TestClusteredEqualsBasic property-checks §3.2: for any cluster count and
+// any dispatch policy, the multi-cluster MHM produces the same TH as the
+// basic single-register design, because modulo addition is commutative and
+// associative.
+func TestClusteredEqualsBasic(t *testing.T) {
+	f := func(seed int64, nOps uint8, clusters uint8, rounding bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := randomOps(rng, int(nOps)%64+1)
+		nc := int(clusters)%7 + 1
+
+		basic := New(nil, fpround.Default)
+		randomDispatch := func(int) int { return rng.Intn(nc) }
+		clustered := NewClustered(nil, fpround.Default, nc, randomDispatch)
+		roundRobin := NewClustered(nil, fpround.Default, nc, nil)
+		if rounding {
+			basic.StartFPRounding()
+			clustered.StartFPRounding()
+			roundRobin.StartFPRounding()
+		}
+		apply(basic, ops)
+		apply(clustered, ops)
+		apply(roundRobin, ops)
+		return basic.TH() == clustered.TH() && basic.TH() == roundRobin.TH()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStoreIsMinusPlusComposition checks OnStore ≡ MinusHash(old) then
+// PlusHash(new): the decomposition §3.2 exploits when scheduling Data_old
+// and Data_new terms independently, in any order.
+func TestStoreIsMinusPlusComposition(t *testing.T) {
+	f := func(addr, old, new uint64, isFP bool) bool {
+		a := New(nil, fpround.Default)
+		a.OnStore(addr, old, new, isFP)
+		b := New(nil, fpround.Default)
+		// Reverse order: plus before minus — must not matter.
+		b.PlusHash(addr, new, isFP)
+		b.MinusHash(addr, old, isFP)
+		return a.TH() == b.TH()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStartStopHashing checks stores seen while stopped leave TH unchanged
+// and are counted as skipped (§3.3: running analysis tools in the checked
+// address space).
+func TestStartStopHashing(t *testing.T) {
+	u := New(nil, fpround.None)
+	u.OnStore(8, 0, 1, false)
+	th := u.TH()
+	u.StopHashing()
+	if u.Hashing() {
+		t.Fatal("Hashing() after stop")
+	}
+	u.OnStore(16, 0, 99, false)
+	u.OnStore(24, 0, 42, false)
+	if u.TH() != th {
+		t.Error("stopped unit changed TH")
+	}
+	u.StartHashing()
+	u.OnStore(16, 0, 99, false)
+	if u.TH() == th {
+		t.Error("restarted unit ignored a store")
+	}
+	s := u.Stats()
+	if s.HashedStores != 2 || s.SkippedStores != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestSaveRestoreMigration models a context switch/migration (§3.3): a
+// thread's TH is saved from one core's MHM and restored into another's;
+// the combined State Hash is unaffected.
+func TestSaveRestoreMigration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := randomOps(rng, 40)
+
+		// Uninterrupted execution on one core.
+		solo := New(nil, fpround.Default)
+		apply(solo, ops)
+
+		// Same work split across a migration at an arbitrary point.
+		cut := rng.Intn(len(ops))
+		core0 := NewClustered(nil, fpround.Default, 4, nil)
+		apply(core0, ops[:cut])
+		saved := core0.SaveHash()
+		core1 := New(nil, fpround.Default)
+		core1.RestoreHash(saved)
+		apply(core1, ops[cut:])
+		return core1.TH() == solo.TH()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRestoreClearsClusters checks restore_hash resets cluster partials.
+func TestRestoreClearsClusters(t *testing.T) {
+	u := NewClustered(nil, fpround.None, 3, nil)
+	u.OnStore(8, 1, 2, false)
+	u.RestoreHash(ihash.Zero)
+	if u.TH() != ihash.Zero {
+		t.Error("cluster partial survived restore")
+	}
+}
+
+// TestFPRoundingPath checks the round-off unit sits in front of the hash
+// unit: FP stores that differ only below the rounding granularity hash
+// identically once rounding is on, and non-FP stores never round.
+func TestFPRoundingPath(t *testing.T) {
+	mk := func() *Unit {
+		u := New(nil, fpround.Default)
+		u.StartFPRounding()
+		return u
+	}
+	a, b := mk(), mk()
+	a.OnStore(8, 0, math.Float64bits(1.2345000001), true)
+	b.OnStore(8, 0, math.Float64bits(1.2345000009), true)
+	if a.TH() != b.TH() {
+		t.Error("FP rounding did not collapse sub-granularity difference")
+	}
+
+	// The same two values as *integer* stores must stay distinct.
+	c, d := mk(), mk()
+	c.OnStore(8, 0, math.Float64bits(1.2345000001), false)
+	d.OnStore(8, 0, math.Float64bits(1.2345000009), false)
+	if c.TH() == d.TH() {
+		t.Error("integer stores were rounded")
+	}
+
+	// With rounding stopped, FP stores are bit-exact again.
+	e, f := mk(), mk()
+	e.StopFPRounding()
+	f.StopFPRounding()
+	e.OnStore(8, 0, math.Float64bits(1.2345000001), true)
+	f.OnStore(8, 0, math.Float64bits(1.2345000009), true)
+	if e.TH() == f.TH() {
+		t.Error("stop_FP_rounding did not take effect")
+	}
+	if e.Rounding() || !a.Rounding() {
+		t.Error("Rounding() state tracking")
+	}
+}
+
+// TestMinusPlusDeletion checks the §2.2 deletion idiom: minus_hash of the
+// current value plus plus_hash of the initial value removes an address's
+// effect, leaving the TH as if the address had never been written.
+func TestMinusPlusDeletion(t *testing.T) {
+	f := func(addr, v uint64) bool {
+		u := New(nil, fpround.None)
+		u.OnStore(addr, 0, v, false) // write v over initial 0
+		u.MinusHash(addr, v, false)  // delete current value
+		u.PlusHash(addr, 0, false)   // restore initial value
+		return u.TH() == ihash.Zero
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCombineTH checks the software State Hash combination over units.
+func TestCombineTH(t *testing.T) {
+	u0 := New(nil, fpround.None)
+	u1 := New(nil, fpround.None)
+	u0.OnStore(8, 0, 7, false)
+	u1.OnStore(16, 0, 3, false)
+	want := u0.TH().Combine(u1.TH())
+	if got := CombineTH(u0, u1); got != want {
+		t.Errorf("CombineTH = %s, want %s", got, want)
+	}
+}
+
+// TestStatsCounting pins the activity counters the cost model reads.
+func TestStatsCounting(t *testing.T) {
+	u := New(nil, fpround.Default)
+	u.StartFPRounding()
+	u.OnStore(8, 0, 1, false)
+	u.OnStore(16, 0, math.Float64bits(1.5), true)
+	u.MinusHash(8, 1, false)
+	u.PlusHash(8, 0, false)
+	_ = u.SaveHash()
+	u.RestoreHash(ihash.Zero)
+	s := u.Stats()
+	want := Stats{HashedStores: 2, RoundedStores: 1, MinusOps: 1, PlusOps: 1, Saves: 1, Restores: 1}
+	if s != want {
+		t.Errorf("stats = %+v, want %+v", s, want)
+	}
+	var agg Stats
+	agg.Add(s)
+	agg.Add(s)
+	if agg.HashedStores != 4 || agg.Restores != 2 {
+		t.Errorf("Add: %+v", agg)
+	}
+}
+
+// TestNegativeDispatchClamped checks hostile dispatch values cannot index
+// out of range.
+func TestNegativeDispatchClamped(t *testing.T) {
+	u := NewClustered(nil, fpround.None, 3, func(i int) int { return -i - 1 })
+	u.OnStore(8, 0, 1, false) // must not panic
+	basic := New(nil, fpround.None)
+	basic.OnStore(8, 0, 1, false)
+	if u.TH() != basic.TH() {
+		t.Error("dispatch clamping changed TH")
+	}
+}

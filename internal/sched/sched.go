@@ -1,0 +1,289 @@
+// Package sched provides the serializing thread scheduler InstantCheck is
+// evaluated under (paper §7.1): one logical thread runs at a time, and the
+// scheduler switches between threads at synchronization operations and at
+// chosen preemption points. With the default random decider this is the
+// testing model used by PCT and CHESS, which the paper adopts because it
+// exposes interleaving complexity much better and faster than truly
+// parallel stress runs; with a scripted decider (see Decider) schedules can
+// be enumerated systematically (paper §6.2).
+//
+// Threads are goroutines, but a single token is handed from thread to
+// thread so that exactly one executes at any moment. Given the same
+// decisions the scheduler replays a run exactly; different seeds explore
+// different interleavings. The scheduler is not part of InstantCheck
+// itself — in real usage it is whatever testing tool the programmer already
+// uses — but the checker needs one to drive test runs.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrAborted is returned (wrapped) by Run when the run was cancelled via
+// Abort — e.g. by the systematic-testing explorer pruning a schedule whose
+// state was already visited.
+var ErrAborted = errors.New("sched: run aborted")
+
+// runAbort is the panic sentinel used to unwind thread goroutines cleanly
+// during shutdown.
+type runAbort struct{}
+
+// Scheduler serializes n logical threads. Create one per run with New (or
+// NewControlled), call Run with the body of each thread. A Scheduler
+// cannot be reused across runs.
+type Scheduler struct {
+	n           int
+	decider     Decider
+	resume      []chan struct{}
+	runnable    []int    // ids of runnable threads
+	runnablePos []int    // thread id -> index in runnable, or -1
+	blocked     []string // thread id -> block reason, "" if not blocked
+	finished    []bool
+	nFinished   int
+	untilSwitch int
+	aborted     bool
+	done        chan struct{}
+	failure     chan error
+	opCount     uint64
+}
+
+// New returns a scheduler for n threads using the default seeded random
+// decider. interval is the mean number of operations between forced
+// preemptions; values <= 0 select the default of 8, which for the workload
+// kernels in this repository gives rich interleaving variety at modest
+// cost.
+func New(n int, seed int64, interval int) *Scheduler {
+	if interval <= 0 {
+		interval = 8
+	}
+	return NewControlled(n, newRandomDecider(seed, interval))
+}
+
+// NewControlled returns a scheduler driven by an explicit decision policy.
+func NewControlled(n int, d Decider) *Scheduler {
+	if n <= 0 {
+		panic("sched: thread count must be positive")
+	}
+	if d == nil {
+		panic("sched: nil decider")
+	}
+	s := &Scheduler{
+		n:           n,
+		decider:     d,
+		resume:      make([]chan struct{}, n),
+		runnable:    make([]int, 0, n),
+		runnablePos: make([]int, n),
+		blocked:     make([]string, n),
+		finished:    make([]bool, n),
+		done:        make(chan struct{}),
+		failure:     make(chan error, 1),
+	}
+	for i := 0; i < n; i++ {
+		s.resume[i] = make(chan struct{}, 1)
+		s.runnablePos[i] = -1
+	}
+	s.untilSwitch = d.SwitchBudget()
+	return s
+}
+
+// N returns the number of threads.
+func (s *Scheduler) N() int { return s.n }
+
+// Ops returns the number of Yield points observed so far (a progress clock).
+func (s *Scheduler) Ops() uint64 { return s.opCount }
+
+// Run executes body(tid) for every thread id in [0, n) under the
+// serialized schedule and returns when all threads have finished. It
+// returns an error if the run deadlocks, a thread panics, or the run is
+// aborted.
+func (s *Scheduler) Run(body func(tid int)) error {
+	for i := 0; i < s.n; i++ {
+		s.addRunnable(i)
+	}
+	for i := 0; i < s.n; i++ {
+		tid := i
+		go func() {
+			<-s.resume[tid] // wait to be scheduled for the first time
+			if s.aborted {
+				return
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(runAbort); ok {
+						return // clean shutdown unwind
+					}
+					s.fail(fmt.Errorf("sched: thread %d panicked: %v", tid, r))
+					return
+				}
+				s.finish(tid)
+			}()
+			body(tid)
+		}()
+	}
+	// Hand the token to the first chosen thread.
+	first := s.pick()
+	s.resume[first] <- struct{}{}
+	select {
+	case <-s.done:
+		return nil
+	case err := <-s.failure:
+		return err
+	}
+}
+
+// Yield is a potential preemption point. The running thread calls it at
+// every simulated operation; most calls return immediately, and the
+// decider's switch budget determines when a real context-switch decision
+// happens.
+func (s *Scheduler) Yield(tid int) {
+	s.opCount++
+	s.untilSwitch--
+	if s.untilSwitch > 0 {
+		return
+	}
+	s.untilSwitch = s.decider.SwitchBudget()
+	s.Preempt(tid)
+}
+
+// Preempt forces a context-switch decision now: the decider picks a
+// runnable thread to run next. The caller remains runnable.
+func (s *Scheduler) Preempt(tid int) {
+	next := s.pick()
+	if next == tid {
+		return
+	}
+	s.resume[next] <- struct{}{}
+	s.waitResume(tid)
+}
+
+// Block removes the calling thread from the runnable set, recording reason
+// for deadlock diagnostics, and switches to another thread. It returns
+// when some other thread calls Unpark for the caller and the scheduler
+// later selects it.
+func (s *Scheduler) Block(tid int, reason string) {
+	s.removeRunnable(tid)
+	s.blocked[tid] = reason
+	if len(s.runnable) == 0 {
+		s.fail(s.deadlockError())
+		panic(runAbort{})
+	}
+	next := s.pick()
+	s.resume[next] <- struct{}{}
+	s.waitResume(tid)
+}
+
+// Unpark makes thread tid runnable again. It must be called by the running
+// thread (or a barrier/mutex implementation executing on its behalf); it
+// does not switch.
+func (s *Scheduler) Unpark(tid int) {
+	if s.finished[tid] {
+		panic(fmt.Sprintf("sched: unpark of finished thread %d", tid))
+	}
+	if s.runnablePos[tid] >= 0 {
+		return // already runnable
+	}
+	s.blocked[tid] = ""
+	s.addRunnable(tid)
+}
+
+// Abort cancels the run from the currently running thread: every other
+// thread is unwound, and Run returns an error wrapping both ErrAborted and
+// reason. It does not return.
+func (s *Scheduler) Abort(reason error) {
+	s.fail(fmt.Errorf("%w: %w", ErrAborted, reason))
+	panic(runAbort{})
+}
+
+// waitResume parks the calling thread until it is handed the token, then
+// unwinds it if the run was aborted in the meantime.
+func (s *Scheduler) waitResume(tid int) {
+	<-s.resume[tid]
+	if s.aborted {
+		panic(runAbort{})
+	}
+}
+
+// finish retires the calling thread and hands the token onward, or signals
+// run completion if it was the last.
+func (s *Scheduler) finish(tid int) {
+	s.finished[tid] = true
+	s.nFinished++
+	s.removeRunnable(tid)
+	if s.nFinished == s.n {
+		close(s.done)
+		return
+	}
+	if len(s.runnable) == 0 {
+		s.fail(s.deadlockError())
+		return
+	}
+	next := s.pick()
+	s.resume[next] <- struct{}{}
+}
+
+// fail records the first failure, marks the run aborted, and wakes every
+// parked thread so its goroutine can unwind. Must be called by the thread
+// currently holding the token (or by the last finishing one).
+func (s *Scheduler) fail(err error) {
+	select {
+	case s.failure <- err:
+	default:
+	}
+	if s.aborted {
+		return
+	}
+	s.aborted = true
+	for tid := 0; tid < s.n; tid++ {
+		if !s.finished[tid] {
+			// Every non-finished, non-running thread is parked on its
+			// resume channel (capacity 1, currently empty); the running
+			// thread's own send is harmlessly absorbed by the buffer.
+			select {
+			case s.resume[tid] <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+func (s *Scheduler) pick() int {
+	if len(s.runnable) == 1 {
+		return s.runnable[0]
+	}
+	return s.runnable[s.decider.Pick(len(s.runnable))]
+}
+
+func (s *Scheduler) addRunnable(tid int) {
+	if s.runnablePos[tid] >= 0 {
+		return
+	}
+	s.runnablePos[tid] = len(s.runnable)
+	s.runnable = append(s.runnable, tid)
+}
+
+func (s *Scheduler) removeRunnable(tid int) {
+	pos := s.runnablePos[tid]
+	if pos < 0 {
+		return
+	}
+	last := len(s.runnable) - 1
+	moved := s.runnable[last]
+	s.runnable[pos] = moved
+	s.runnablePos[moved] = pos
+	s.runnable = s.runnable[:last]
+	s.runnablePos[tid] = -1
+}
+
+func (s *Scheduler) deadlockError() error {
+	var waiting []string
+	for tid, reason := range s.blocked {
+		if reason != "" && !s.finished[tid] {
+			waiting = append(waiting, fmt.Sprintf("thread %d: %s", tid, reason))
+		}
+	}
+	sort.Strings(waiting)
+	return fmt.Errorf("sched: deadlock, no runnable threads; blocked: [%s]", strings.Join(waiting, "; "))
+}

@@ -1,0 +1,128 @@
+package sched
+
+import "fmt"
+
+// Mutex is a scheduler-aware lock. Lock blocks the calling thread in the
+// scheduler (never spins) when the mutex is held; Unlock wakes the first
+// waiter in arrival order. Waking is FIFO so that fairness itself never
+// introduces extra nondeterminism beyond the schedule.
+type Mutex struct {
+	held    bool
+	owner   int
+	waiters []int
+	name    string
+}
+
+// NewMutex returns an unlocked mutex. name appears in deadlock diagnostics.
+func NewMutex(name string) *Mutex { return &Mutex{name: name, owner: -1} }
+
+// Lock acquires the mutex on behalf of thread tid, blocking in s if held.
+func (m *Mutex) Lock(s *Scheduler, tid int) {
+	for m.held {
+		m.waiters = append(m.waiters, tid)
+		s.Block(tid, "lock "+m.name)
+		// Re-check on wake: another thread may have slipped in between the
+		// unpark and this thread actually being scheduled (barging), which
+		// is exactly how pthread mutexes behave.
+	}
+	m.held = true
+	m.owner = tid
+}
+
+// Unlock releases the mutex and wakes the oldest waiter, if any.
+func (m *Mutex) Unlock(s *Scheduler, tid int) {
+	if !m.held || m.owner != tid {
+		panic(fmt.Sprintf("sched: thread %d unlocking mutex %q held=%v owner=%d", tid, m.name, m.held, m.owner))
+	}
+	m.held = false
+	m.owner = -1
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		s.Unpark(w)
+	}
+}
+
+// Barrier is a pthread-style barrier for a fixed party count. The thread
+// that completes each episode runs the OnFull callback while every other
+// participant is still blocked — i.e. with the shared state quiescent —
+// which is exactly where InstantCheck captures a State Hash (paper §2.3).
+type Barrier struct {
+	parties int
+	waiting []int
+	episode int
+	name    string
+	// OnFull, if non-nil, runs once per episode, just before the waiters
+	// are released, on the last-arriving thread. episode numbers from 0.
+	OnFull func(episode int, lastTID int)
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(name string, parties int) *Barrier {
+	if parties <= 0 {
+		panic("sched: barrier party count must be positive")
+	}
+	return &Barrier{parties: parties, name: name}
+}
+
+// Episode returns the number of completed barrier episodes.
+func (b *Barrier) Episode() int { return b.episode }
+
+// Await blocks tid until all parties have arrived. The last arriver runs
+// OnFull, releases the others, and continues.
+func (b *Barrier) Await(s *Scheduler, tid int) {
+	if len(b.waiting) == b.parties-1 {
+		ep := b.episode
+		b.episode++
+		if b.OnFull != nil {
+			b.OnFull(ep, tid)
+		}
+		for _, w := range b.waiting {
+			s.Unpark(w)
+		}
+		b.waiting = b.waiting[:0]
+		// Give the released threads a chance to be chosen immediately.
+		s.Preempt(tid)
+		return
+	}
+	b.waiting = append(b.waiting, tid)
+	s.Block(tid, fmt.Sprintf("barrier %s ep%d", b.name, b.episode))
+}
+
+// Cond is a scheduler-aware condition variable associated with a Mutex.
+type Cond struct {
+	m       *Mutex
+	waiters []int
+	name    string
+}
+
+// NewCond returns a condition variable tied to m.
+func NewCond(name string, m *Mutex) *Cond { return &Cond{m: m, name: name} }
+
+// Wait atomically releases the mutex, blocks tid until signalled, then
+// reacquires the mutex before returning. As with pthreads, spurious
+// interleavings mean callers must re-check their predicate in a loop.
+func (c *Cond) Wait(s *Scheduler, tid int) {
+	c.waiters = append(c.waiters, tid)
+	c.m.Unlock(s, tid)
+	s.Block(tid, "cond "+c.name)
+	c.m.Lock(s, tid)
+}
+
+// Signal wakes the oldest waiter, if any. The caller must hold the mutex.
+func (c *Cond) Signal(s *Scheduler, tid int) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	s.Unpark(w)
+}
+
+// Broadcast wakes all waiters. The caller must hold the mutex.
+func (c *Cond) Broadcast(s *Scheduler, tid int) {
+	for _, w := range c.waiters {
+		s.Unpark(w)
+	}
+	c.waiters = c.waiters[:0]
+}

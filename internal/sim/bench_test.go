@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"instantcheck/internal/replay"
+)
+
+// benchRun executes one fuzz run under the given scheme, for comparing the
+// runtime (not modeled) cost of the schemes inside this simulator.
+func benchRun(b *testing.B, scheme Scheme) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(Config{
+			Threads:      4,
+			ScheduleSeed: int64(i),
+			Scheme:       scheme,
+			AddrLog:      replay.NewAddrLog(),
+		})
+		if _, err := m.Run(newFuzz(4, 99, 200)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineNative measures the simulator with checking off.
+func BenchmarkMachineNative(b *testing.B) { benchRun(b, Native) }
+
+// BenchmarkMachineHWInc measures the HW-InstantCheck_Inc model.
+func BenchmarkMachineHWInc(b *testing.B) { benchRun(b, HWInc) }
+
+// BenchmarkMachineSWTr measures traversal hashing at every checkpoint.
+func BenchmarkMachineSWTr(b *testing.B) { benchRun(b, SWTr) }
+
+// BenchmarkTraverseHash isolates the per-checkpoint sweep cost.
+func BenchmarkTraverseHash(b *testing.B) {
+	m := NewMachine(Config{Threads: 1, ScheduleSeed: 1, Scheme: SWTr})
+	prog := newFuzz(1, 7, 300)
+	if _, err := m.Run(prog); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.traverseHash()
+	}
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"sort"
+
+	"instantcheck/internal/ihash"
+	"instantcheck/internal/mem"
+)
+
+// IgnoreRule selects words to delete from the state hash: all blocks
+// allocated at Site, restricted to the listed word Offsets (nil means the
+// whole block). This is how the paper's advanced users exclude auxiliary
+// structures that are legitimately nondeterministic — cholesky's free-task
+// list, pbzip2's dangling pointer fields, sphinx3's scratch sites (§7.2).
+type IgnoreRule struct {
+	// Site is the allocation-site label the rule applies to.
+	Site string
+	// Offsets lists word offsets within each matching block; nil selects
+	// every word of the block.
+	Offsets []int
+}
+
+// siteSelector is the resolved union of all rules for one site.
+type siteSelector struct {
+	whole   bool
+	offsets []int // sorted, unique; meaningful only if !whole
+}
+
+// IgnoreSet is a collection of ignore rules. Overlapping rules for the same
+// site are unioned, so each word is deleted from the hash at most once.
+type IgnoreSet struct {
+	rules  []IgnoreRule
+	bySite map[string]*siteSelector
+}
+
+// NewIgnoreSet builds an ignore set from rules.
+func NewIgnoreSet(rules ...IgnoreRule) *IgnoreSet {
+	s := &IgnoreSet{rules: rules, bySite: make(map[string]*siteSelector)}
+	for _, r := range rules {
+		sel := s.bySite[r.Site]
+		if sel == nil {
+			sel = &siteSelector{}
+			s.bySite[r.Site] = sel
+		}
+		if r.Offsets == nil {
+			sel.whole = true
+			continue
+		}
+		sel.offsets = append(sel.offsets, r.Offsets...)
+	}
+	for _, sel := range s.bySite {
+		if sel.whole {
+			sel.offsets = nil
+			continue
+		}
+		sort.Ints(sel.offsets)
+		sel.offsets = dedupInts(sel.offsets)
+	}
+	return s
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Empty reports whether the set has no rules.
+func (s *IgnoreSet) Empty() bool { return s == nil || len(s.rules) == 0 }
+
+// Rules returns the rules the set was built from.
+func (s *IgnoreSet) Rules() []IgnoreRule {
+	if s == nil {
+		return nil
+	}
+	return s.rules
+}
+
+// Sites returns the distinct sites mentioned by the rules, sorted.
+func (s *IgnoreSet) Sites() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.bySite))
+	for site := range s.bySite {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// adjust applies the §2.2 deletion to a state hash: for every selected word,
+// SH = SH ⊕ h(a, v_initial) ⊖ h(a, v_current). Initial values are zero
+// because InstantCheck zero-fills allocations. It returns the adjusted hash
+// and the number of words examined (for the cost model). Values are rounded
+// exactly as the hashing path would round them, so deletion cancels
+// precisely.
+func (s *IgnoreSet) adjust(m *Machine, sh ihash.Digest) (ihash.Digest, uint64) {
+	if s.Empty() {
+		return sh, 0
+	}
+	h := m.hasher
+	var examined uint64
+	apply := func(b *mem.Block, off int) {
+		if off < 0 || off >= b.Words {
+			return
+		}
+		addr := b.Base + uint64(off)*mem.WordSize
+		cur := m.Mem.Peek(addr)
+		if b.Kind == mem.KindFloat && m.roundFP {
+			cur = m.rounding.RoundBits(cur)
+		}
+		examined++
+		// ⊕ h(a, 0) ⊖ h(a, cur): restore the word to its fixed initial
+		// (zero) value inside the hash.
+		sh = sh.Combine(h.HashWord(addr, 0)).Subtract(h.HashWord(addr, cur))
+	}
+	m.Mem.TraverseBlocks(func(b *mem.Block) {
+		sel := s.bySite[b.Site]
+		if sel == nil {
+			return
+		}
+		if sel.whole {
+			for off := 0; off < b.Words; off++ {
+				apply(b, off)
+			}
+			return
+		}
+		for _, off := range sel.offsets {
+			apply(b, off)
+		}
+	})
+	return sh, examined
+}

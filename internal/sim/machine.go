@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"fmt"
+
+	"instantcheck/internal/fpround"
+	"instantcheck/internal/ihash"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/mhm"
+	"instantcheck/internal/sched"
+)
+
+// Program is a simulated parallel program. Setup runs once on an
+// initialization thread before the workers start (allocating global state
+// and reading input); Worker runs once per worker thread under the
+// serializing scheduler. A Program instance is used for exactly one run;
+// build a fresh instance per run so shared handles reset.
+type Program interface {
+	// Name identifies the program.
+	Name() string
+	// Threads returns the worker thread count.
+	Threads() int
+	// Setup initializes global state using the init thread.
+	Setup(t *Thread)
+	// Worker is the body of worker thread t.TID().
+	Worker(t *Thread)
+}
+
+// Machine executes one run of a Program under one Config.
+type Machine struct {
+	cfg Config
+	// Mem is the simulated address space.
+	Mem *mem.Memory
+
+	sch    *sched.Scheduler
+	hasher ihash.Hasher
+
+	// units[tid] is worker tid's MHM; initUnit belongs to the setup thread.
+	units    []*mhm.Unit
+	initUnit *mhm.Unit
+
+	rounding fpround.Policy
+	roundFP  bool
+
+	checkpoints []Checkpoint
+	counters    Counters
+
+	outputs    map[int]*OutputStream
+	outputData map[int][]byte
+
+	running  bool
+	finished bool
+}
+
+// NewMachine prepares a machine for one run.
+func NewMachine(cfg Config) *Machine {
+	if cfg.Threads <= 0 {
+		panic("sim: Config.Threads must be positive")
+	}
+	h := cfg.Hasher
+	if h == nil {
+		h = ihash.Mix64{}
+	}
+	if cfg.RoundFP && !cfg.Rounding.Enabled() {
+		cfg.Rounding = fpround.Default
+	}
+	m := &Machine{
+		cfg:      cfg,
+		Mem:      mem.New(),
+		hasher:   h,
+		rounding: cfg.Rounding,
+		roundFP:  cfg.RoundFP,
+	}
+	m.counters.PerThread = make([]uint64, cfg.Threads)
+	if cfg.Scheme.Incremental() {
+		m.units = make([]*mhm.Unit, cfg.Threads)
+		for i := range m.units {
+			m.units[i] = m.newUnit()
+		}
+		m.initUnit = m.newUnit()
+	}
+	if cfg.AddrLog != nil {
+		log := cfg.AddrLog
+		m.Mem.AddrHook = func(site string, seq, words int) (uint64, bool) {
+			return log.Lookup(site, seq)
+		}
+	}
+	return m
+}
+
+func (m *Machine) newUnit() *mhm.Unit {
+	u := mhm.New(m.hasher, m.rounding)
+	if m.roundFP {
+		u.StartFPRounding()
+	}
+	return u
+}
+
+// Config returns the run configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Scheduler returns the scheduler (nil before Run starts workers).
+func (m *Machine) Scheduler() *sched.Scheduler { return m.sch }
+
+// Run executes the program to completion and returns the run result. The
+// final checkpoint ("end") is always captured, matching the paper's check at
+// run end. Run may be called once per Machine.
+func (m *Machine) Run(p Program) (*Result, error) {
+	if m.finished {
+		panic("sim: Machine reused across runs")
+	}
+	m.finished = true
+	if p.Threads() != m.cfg.Threads {
+		return nil, fmt.Errorf("sim: program %s wants %d threads, config has %d", p.Name(), p.Threads(), m.cfg.Threads)
+	}
+	if m.cfg.Env != nil {
+		m.cfg.Env.BeginRun()
+	}
+	// Setup phase on the init thread: the allocations and stores it makes
+	// are the program's fixed input state.
+	init := &Thread{m: m, tid: -1, unit: m.initUnit}
+	p.Setup(init)
+	m.counters.SetupInstr = init.instr
+	m.counters.Instr += init.instr
+
+	if m.cfg.Decider != nil {
+		m.sch = sched.NewControlled(m.cfg.Threads, m.cfg.Decider)
+	} else {
+		m.sch = sched.New(m.cfg.Threads, m.cfg.ScheduleSeed, m.cfg.SwitchInterval)
+	}
+	threads := make([]*Thread, m.cfg.Threads)
+	for i := range threads {
+		var u *mhm.Unit
+		if m.units != nil {
+			u = m.units[i]
+		}
+		threads[i] = &Thread{m: m, tid: i, unit: u}
+	}
+	m.running = true
+	err := m.sch.Run(func(tid int) {
+		p.Worker(threads[tid])
+	})
+	m.running = false
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range threads {
+		m.counters.PerThread[i] = t.instr
+		m.counters.Instr += t.instr
+	}
+	if err := m.capture("end"); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Checkpoints:    m.checkpoints,
+		Counters:       m.counters,
+		FinalLiveWords: m.Mem.LiveWords(),
+	}
+	if len(m.outputs) > 0 {
+		res.Outputs = make(map[int]OutputStream, len(m.outputs))
+		for fd, s := range m.outputs {
+			res.Outputs[fd] = *s
+			res.OutputBytes += s.Bytes
+		}
+		if s, ok := m.outputs[Stdout]; ok {
+			res.OutputHash = s.Hash
+		}
+		res.OutputData = m.outputData
+	}
+	if m.units != nil {
+		for _, u := range m.units {
+			res.MHMStats.Add(u.Stats())
+		}
+		res.MHMStats.Add(m.initUnit.Stats())
+	}
+	return res, nil
+}
+
+// NewMutex returns a named scheduler-aware mutex.
+func (m *Machine) NewMutex(name string) *sched.Mutex { return sched.NewMutex(name) }
+
+// NewCond returns a condition variable tied to mu.
+func (m *Machine) NewCond(name string, mu *sched.Mutex) *sched.Cond {
+	return sched.NewCond(name, mu)
+}
+
+// NewBarrier returns a pthread-style barrier for all worker threads. Every
+// barrier episode is a determinism-checking point: when the last thread
+// arrives — with all other participants blocked, so the shared state is
+// quiescent — the machine captures a checkpoint (paper §2.3: "InstantCheck
+// checks determinism at each program barrier and at run end").
+func (m *Machine) NewBarrier(name string) *sched.Barrier {
+	return m.NewBarrierN(name, m.cfg.Threads)
+}
+
+// NewBarrierN returns a checkpointing barrier for an explicit party count
+// (for programs where only a subset of threads synchronizes).
+func (m *Machine) NewBarrierN(name string, parties int) *sched.Barrier {
+	b := sched.NewBarrier(name, parties)
+	b.OnFull = func(episode, lastTID int) {
+		if err := m.capture(name); err != nil {
+			// The checkpoint hook asked to cancel (state pruning, replay
+			// mismatch): unwind the run cleanly.
+			m.sch.Abort(err)
+		}
+	}
+	return b
+}
+
+// capture records a determinism-checking point and runs the checkpoint
+// hook. It must run while the state is quiescent: on the last thread to
+// arrive at a barrier, or after all threads have finished.
+func (m *Machine) capture(label string) error {
+	cp := Checkpoint{
+		Ordinal:   len(m.checkpoints),
+		Label:     label,
+		LiveWords: m.Mem.LiveWords(),
+	}
+	m.counters.Checkpoints++
+	m.counters.CheckpointWords += uint64(cp.LiveWords)
+	if m.cfg.Scheme.Hashing() {
+		var sh ihash.Digest
+		if m.cfg.Scheme.Incremental() {
+			sh = m.initUnit.TH()
+			for _, u := range m.units {
+				sh = sh.Combine(u.TH())
+			}
+		} else {
+			sh = m.traverseHash()
+		}
+		cp.RawSH = sh
+		adj, examined := m.cfg.Ignore.adjust(m, sh)
+		cp.SH = adj
+		m.counters.IgnoredWordChecks += examined
+	}
+	if m.cfg.SnapshotAt[cp.Ordinal] {
+		cp.Snapshot = m.Mem.Snapshot()
+	}
+	m.checkpoints = append(m.checkpoints, cp)
+	if m.cfg.Events != nil {
+		m.cfg.Events.OnBarrier(cp.Ordinal)
+	}
+	if m.cfg.CheckpointHook != nil {
+		return m.cfg.CheckpointHook(cp)
+	}
+	return nil
+}
+
+// traverseHash computes the state hash by sweeping the static segment and
+// the live-allocation table, as SW-InstantCheck_Tr does (§4.2). Each live
+// word contributes h(a, v) ⊖ h(a, 0): its delta from the fixed zero-filled
+// initial state, the same quantity the incremental schemes accumulate. FP
+// words are rounded using the allocation table's type information.
+func (m *Machine) traverseHash() ihash.Digest {
+	var sh ihash.Digest
+	round := m.roundFP
+	m.Mem.Traverse(func(addr, value uint64, kind mem.Kind) {
+		if kind == mem.KindFloat && round {
+			value = m.rounding.RoundBits(value)
+		}
+		sh = sh.Combine(m.hasher.HashWord(addr, value)).Subtract(m.hasher.HashWord(addr, 0))
+	})
+	return sh
+}
+
+// SetFPRounding flips the FP round-off unit for every thread mid-run,
+// implementing start_FP_rounding / stop_FP_rounding issued by the program.
+func (m *Machine) SetFPRounding(on bool) {
+	m.roundFP = on
+	if m.units == nil {
+		return
+	}
+	set := func(u *mhm.Unit) {
+		if on {
+			u.StartFPRounding()
+		} else {
+			u.StopFPRounding()
+		}
+	}
+	for _, u := range m.units {
+		set(u)
+	}
+	set(m.initUnit)
+}
+
+func (m *Machine) writeOutput(fd int, p []byte) {
+	// FNV-1a over the stream in write order: InstantCheck's libc-write
+	// interception hashes "the actually written bytes before the return
+	// from the function" (§4.3), so ordering between unsynchronized
+	// writers is visible — deliberately. Each descriptor carries its own
+	// stream hash, as a full per-file implementation would.
+	if m.outputs == nil {
+		m.outputs = make(map[int]*OutputStream)
+	}
+	s := m.outputs[fd]
+	if s == nil {
+		s = &OutputStream{Hash: 14695981039346656037}
+		m.outputs[fd] = s
+	}
+	const prime = 1099511628211
+	h := s.Hash
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= prime
+	}
+	s.Hash = h
+	s.Bytes += uint64(len(p))
+	m.counters.OutputBytes += uint64(len(p))
+	if m.cfg.CaptureOutput {
+		if m.outputData == nil {
+			m.outputData = make(map[int][]byte)
+		}
+		m.outputData[fd] = append(m.outputData[fd], p...)
+	}
+}

@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"math"
+
+	"instantcheck/internal/mem"
+	"instantcheck/internal/mhm"
+	"instantcheck/internal/sched"
+)
+
+// Thread is the execution context handed to a Program's Setup and Worker
+// functions. All simulated work — memory access, synchronization,
+// allocation, I/O, library calls — goes through Thread methods so the
+// machine can observe it, exactly as Pin-instrumented binaries expose these
+// events to the paper's prototypes.
+//
+// The init thread (Setup phase) has TID() == -1 and never yields; worker
+// threads yield at every operation, giving the random scheduler its
+// preemption points.
+type Thread struct {
+	m     *Machine
+	tid   int
+	unit  *mhm.Unit // nil when the scheme is not incremental
+	instr uint64
+}
+
+// TID returns the worker thread id, or -1 for the init thread.
+func (t *Thread) TID() int { return t.tid }
+
+// Machine returns the machine this thread runs on.
+func (t *Thread) Machine() *Machine { return t.m }
+
+// Instr returns the native instructions this thread has executed so far.
+func (t *Thread) Instr() uint64 { return t.instr }
+
+func (t *Thread) charge(n uint64) { t.instr += n }
+
+func (t *Thread) yield() {
+	if t.tid >= 0 {
+		t.m.sch.Yield(t.tid)
+	}
+}
+
+// Compute charges n units of pure computation (arithmetic that touches no
+// shared memory) and offers a preemption point.
+func (t *Thread) Compute(n int) {
+	if n > 0 {
+		t.charge(uint64(n) * CostCompute)
+	}
+	t.yield()
+}
+
+// Load reads the integer word at addr.
+func (t *Thread) Load(addr uint64) uint64 {
+	t.charge(CostLoad)
+	t.m.counters.Loads++
+	t.yield()
+	if ev := t.m.cfg.Events; ev != nil {
+		ev.OnRead(t.tid, addr)
+	}
+	return t.m.Mem.Load(addr)
+}
+
+// LoadF reads the float64 at addr.
+func (t *Thread) LoadF(addr uint64) float64 {
+	return math.Float64frombits(t.Load(addr))
+}
+
+// Store writes an integer word at addr. The address must belong to a
+// KindWord block: the compiler knows which stores are FP stores (§5), and
+// the simulator enforces that the instruction kind matches the allocation's
+// type annotation so the incremental and traversal schemes always round the
+// same words.
+func (t *Thread) Store(addr, value uint64) {
+	t.store(addr, value, false)
+}
+
+// StoreF writes a float64 at addr; the address must belong to a KindFloat
+// block. FP stores are the ones routed through the MHM round-off unit.
+func (t *Thread) StoreF(addr uint64, value float64) {
+	t.store(addr, math.Float64bits(value), true)
+}
+
+func (t *Thread) store(addr, value uint64, isFP bool) {
+	t.charge(CostStore)
+	t.m.counters.Stores++
+	if isFP {
+		t.m.counters.FPStores++
+	}
+	t.checkKind(addr, isFP)
+	if ev := t.m.cfg.Events; ev != nil {
+		ev.OnWrite(t.tid, addr)
+	}
+	switch t.m.cfg.Scheme {
+	case SWIncNonAtomic:
+		// §4.1 caveat: the instrumentation reads the old value first,
+		// then the store happens after a preemption window. Under a
+		// write-write race another thread's store can land in between,
+		// making `stale` differ from the value the store replaces and
+		// corrupting the hash.
+		stale := t.m.Mem.Peek(addr)
+		t.yield()
+		t.m.Mem.Store(addr, value)
+		if t.unit != nil {
+			t.unit.OnStore(addr, stale, value, isFP)
+		}
+	default:
+		t.yield()
+		old := t.m.Mem.Store(addr, value)
+		if t.unit != nil {
+			t.unit.OnStore(addr, old, value, isFP)
+		}
+	}
+}
+
+func (t *Thread) checkKind(addr uint64, isFP bool) {
+	b := t.m.Mem.BlockAt(addr)
+	if b == nil {
+		return // Store will panic with a better message
+	}
+	if isFP != (b.Kind == mem.KindFloat) {
+		panic("sim: store kind mismatch at " + b.Site +
+			": FP stores must target KindFloat blocks and integer stores KindWord blocks")
+	}
+}
+
+// Malloc allocates words zero-filled 8-byte words at the given allocation
+// site and returns the base address. Addresses are recorded to / replayed
+// from the campaign's address log so that dynamic allocation behaves as
+// fixed input (§5).
+func (t *Thread) Malloc(site string, words int, kind mem.Kind) uint64 {
+	t.charge(CostMalloc)
+	t.m.counters.Allocs++
+	t.yield()
+	b := t.m.Mem.Alloc(site, words, kind)
+	if t.m.cfg.AddrLog != nil {
+		t.m.cfg.AddrLog.Record(site, b.Seq, b.Base)
+	}
+	// Zero-filling the allocation is checking-induced work (§7.3: the HW
+	// scheme's only overhead); it needs no hash updates because a zero
+	// word's delta from the zero initial state is itself zero.
+	t.m.counters.AllocZeroWords += uint64(words)
+	return b.Base
+}
+
+// AllocStatic reserves static (never-freed) global state. Only the init
+// thread may call it: static data is part of the program image.
+func (t *Thread) AllocStatic(site string, words int, kind mem.Kind) uint64 {
+	if t.tid >= 0 {
+		panic("sim: AllocStatic outside the Setup phase")
+	}
+	return t.m.Mem.AllocStatic(site, words, kind)
+}
+
+// Free releases the block based at base. InstantCheck erases the freed
+// contents from the hash — each word's current value is deleted and the
+// word restored to the fixed all-zero initial state — so freed memory is
+// "no longer part of the program state" (§7.2, pbzip2 discussion).
+func (t *Thread) Free(base uint64) {
+	t.charge(CostFree)
+	t.m.counters.Frees++
+	t.yield()
+	blk := t.m.Mem.BlockAt(base)
+	if blk == nil || blk.Base != base {
+		panic("sim: Free of a non-block address")
+	}
+	isFP := blk.Kind == mem.KindFloat
+	for i := 0; i < blk.Words; i++ {
+		addr := base + uint64(i)*mem.WordSize
+		old := t.m.Mem.Store(addr, 0)
+		if t.unit != nil && old != 0 {
+			t.unit.MinusHash(addr, old, isFP)
+			t.unit.PlusHash(addr, 0, isFP)
+		}
+	}
+	t.m.counters.FreeEraseWords += uint64(blk.Words)
+	t.m.Mem.Free(base)
+}
+
+// Lock acquires mu, blocking in the scheduler if necessary.
+func (t *Thread) Lock(mu *sched.Mutex) {
+	t.charge(CostLock)
+	t.yield()
+	mu.Lock(t.m.sch, t.tid)
+	if ev := t.m.cfg.Events; ev != nil {
+		ev.OnAcquire(t.tid, mu)
+	}
+}
+
+// Unlock releases mu.
+func (t *Thread) Unlock(mu *sched.Mutex) {
+	t.charge(CostUnlock)
+	if ev := t.m.cfg.Events; ev != nil {
+		ev.OnRelease(t.tid, mu)
+	}
+	mu.Unlock(t.m.sch, t.tid)
+	t.yield()
+}
+
+// BarrierWait arrives at b and blocks until all parties have arrived. The
+// episode is a determinism-checking point.
+func (t *Thread) BarrierWait(b *sched.Barrier) {
+	t.charge(CostBarrier)
+	b.Await(t.m.sch, t.tid)
+}
+
+// CondWait waits on c (its mutex must be held).
+func (t *Thread) CondWait(c *sched.Cond) {
+	t.charge(CostLock)
+	c.Wait(t.m.sch, t.tid)
+}
+
+// CondSignal wakes one waiter of c.
+func (t *Thread) CondSignal(c *sched.Cond) {
+	t.charge(CostUnlock)
+	c.Signal(t.m.sch, t.tid)
+	t.yield()
+}
+
+// CondBroadcast wakes all waiters of c.
+func (t *Thread) CondBroadcast(c *sched.Cond) {
+	t.charge(CostUnlock)
+	c.Broadcast(t.m.sch, t.tid)
+	t.yield()
+}
+
+// Checkpoint records a programmer-specified determinism-checking point
+// (§2.3: "the programmer may also specify additional program points where
+// she expects her program to be in a deterministic state", e.g. the end of
+// a loop iteration or a hand-coded barrier). The state hash is captured
+// immediately; ensuring the point is actually quiescent — other threads
+// are not mid-update — is the programmer's responsibility, exactly as in
+// the paper. With hardware support these checks are cheap enough to place
+// "at as many points as desired".
+func (t *Thread) Checkpoint(label string) {
+	t.charge(2)
+	if err := t.m.capture(label); err != nil {
+		t.m.sch.Abort(err)
+	}
+}
+
+// Yield offers an explicit preemption point (spin loops in hand-coded
+// synchronization must call it so other threads can make progress).
+func (t *Thread) Yield() {
+	t.charge(1)
+	if t.tid >= 0 {
+		t.m.sch.Preempt(t.tid)
+	}
+}
+
+// Write appends p to the program's standard output stream, which
+// InstantCheck hashes at the libc write() boundary (§4.3).
+func (t *Thread) Write(p []byte) { t.WriteFd(Stdout, p) }
+
+// WriteFd appends p to the stream of descriptor fd; each descriptor's
+// stream is hashed independently, as a full per-file implementation of
+// §4.3 would do.
+func (t *Thread) WriteFd(fd int, p []byte) {
+	t.charge(uint64(len(p)/8+1) * CostOutput)
+	t.yield()
+	t.m.writeOutput(fd, p)
+}
+
+// Rand returns the next value of the thread's rand() stream. The results
+// are recorded on the first run of a campaign and replayed on later runs:
+// nondeterministic library calls are treated as input (§5).
+func (t *Thread) Rand() uint64 {
+	t.charge(CostEnvCall)
+	t.yield()
+	if t.m.cfg.Env == nil {
+		panic("sim: Rand requires Config.Env (nondeterministic library calls must be record/replayed)")
+	}
+	return t.m.cfg.Env.Rand(t.envTID())
+}
+
+// Gettimeofday returns the thread's replayed gettimeofday() result in
+// microseconds.
+func (t *Thread) Gettimeofday() int64 {
+	t.charge(CostEnvCall)
+	t.yield()
+	if t.m.cfg.Env == nil {
+		panic("sim: Gettimeofday requires Config.Env")
+	}
+	return t.m.cfg.Env.Gettimeofday(t.envTID())
+}
+
+func (t *Thread) envTID() int {
+	if t.tid < 0 {
+		return -1
+	}
+	return t.tid
+}
+
+// StartHashing / StopHashing expose the MHM's start_hashing/stop_hashing
+// instructions (§3.3) to analysis code running in the checked thread.
+func (t *Thread) StartHashing() {
+	if t.unit != nil {
+		t.unit.StartHashing()
+	}
+}
+
+// StopHashing disables store hashing for this thread.
+func (t *Thread) StopHashing() {
+	if t.unit != nil {
+		t.unit.StopHashing()
+	}
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"testing"
+
+	"instantcheck/internal/fpround"
+	"instantcheck/internal/mem"
+	"instantcheck/internal/replay"
+	"instantcheck/internal/sched"
+)
+
+// TestCondVariables drives a producer/consumer through the Thread-level
+// condition-variable API.
+func TestCondVariables(t *testing.T) {
+	var mu *sched.Mutex
+	var avail *sched.Cond
+	var q, out uint64
+	p := &funcProg{nt: 3,
+		setup: func(th *Thread) {
+			q = th.AllocStatic("static:q", 2, mem.KindWord) // {count, next}
+			out = th.AllocStatic("static:out", 8, mem.KindWord)
+			mu = th.Machine().NewMutex("q")
+			avail = th.Machine().NewCond("avail", mu)
+		},
+		worker: func(th *Thread) {
+			if th.TID() == 0 { // producer: publish 8 items
+				for i := 0; i < 8; i++ {
+					th.Lock(mu)
+					th.Store(q, th.Load(q)+1)
+					if i == 7 {
+						th.CondBroadcast(avail)
+					} else {
+						th.CondSignal(avail)
+					}
+					th.Unlock(mu)
+				}
+				return
+			}
+			for { // consumers: each item goes to a distinct out slot
+				th.Lock(mu)
+				for th.Load(q) == 0 {
+					if th.Load(q+8) >= 8 { // all consumed
+						th.Unlock(mu)
+						return
+					}
+					th.CondWait(avail)
+				}
+				th.Store(q, th.Load(q)-1)
+				slot := th.Load(q + 8)
+				th.Store(q+8, slot+1)
+				th.Unlock(mu)
+				th.Store(out+slot*8, slot+100)
+				if slot == 7 {
+					th.Lock(mu)
+					th.CondBroadcast(avail) // release any waiter at the end
+					th.Unlock(mu)
+				}
+			}
+		},
+	}
+	m := NewMachine(Config{Threads: 3, ScheduleSeed: 5, Scheme: HWInc})
+	if _, err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem.BlockAt(out) == nil {
+		t.Fatal("out block missing")
+	}
+	for i := 0; i < 8; i++ {
+		if got := m.Mem.Peek(out + uint64(i)*8); got != uint64(i+100) {
+			t.Errorf("out[%d] = %d", i, got)
+		}
+	}
+}
+
+// TestGettimeofdayAndYield covers the env clock and explicit yields.
+func TestGettimeofdayAndYield(t *testing.T) {
+	var stamps []int64
+	p := &funcProg{nt: 2, worker: func(th *Thread) {
+		th.Yield()
+		stamps = append(stamps, th.Gettimeofday())
+		th.Yield()
+	}}
+	env := replay.NewEnv(3)
+	m := NewMachine(Config{Threads: 2, ScheduleSeed: 1, Scheme: HWInc, Env: env})
+	if _, err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(stamps) != 2 {
+		t.Fatalf("%d stamps", len(stamps))
+	}
+	// Replay: a second run returns the same per-thread values.
+	first := append([]int64(nil), stamps...)
+	stamps = nil
+	m2 := NewMachine(Config{Threads: 2, ScheduleSeed: 99, Scheme: HWInc, Env: env})
+	if _, err := m2.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(stamps) != 2 {
+		t.Fatal("second run stamps")
+	}
+	// Same multiset (schedule may reorder which thread appended first).
+	if !(first[0] == stamps[0] && first[1] == stamps[1]) &&
+		!(first[0] == stamps[1] && first[1] == stamps[0]) {
+		t.Errorf("gettimeofday not replayed: %v vs %v", first, stamps)
+	}
+}
+
+// TestSetFPRounding covers mid-run rounding toggles: the machine-level
+// switch flips every unit.
+func TestSetFPRounding(t *testing.T) {
+	m := NewMachine(Config{Threads: 1, ScheduleSeed: 1, Scheme: HWInc, Rounding: fpround.Default})
+	p := &funcProg{nt: 1,
+		setup: func(th *Thread) { th.AllocStatic("static:f", 2, mem.KindFloat) },
+		worker: func(th *Thread) {
+			th.Machine().SetFPRounding(true)
+			th.StoreF(mem.StaticBase, 1.23456789)
+			th.Machine().SetFPRounding(false)
+			th.StoreF(mem.StaticBase+8, 1.23456789)
+		},
+	}
+	if _, err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	// The first store was rounded inside the hash; the second bit-exact.
+	// Both physical values are full precision (rounding affects hashing
+	// only).
+	if m.Mem.Peek(mem.StaticBase) != m.Mem.Peek(mem.StaticBase+8) {
+		t.Error("rounding must not change stored values")
+	}
+}
+
+// TestMachineAccessors covers trivial getters and thread metadata.
+func TestMachineAccessors(t *testing.T) {
+	m := NewMachine(Config{Threads: 2, ScheduleSeed: 1, Scheme: SWTr})
+	if m.Config().Threads != 2 {
+		t.Error("Config()")
+	}
+	p := &funcProg{nt: 2, worker: func(th *Thread) {
+		if th.Machine() != m {
+			t.Error("Machine()")
+		}
+		th.Compute(5)
+		if th.Instr() == 0 {
+			t.Error("Instr()")
+		}
+		if th.Machine().Scheduler() == nil {
+			t.Error("Scheduler()")
+		}
+	}}
+	if _, err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocStaticOutsideSetupPanics covers the init-thread guard.
+func TestAllocStaticOutsideSetupPanics(t *testing.T) {
+	m := NewMachine(Config{Threads: 1, ScheduleSeed: 1, Scheme: HWInc})
+	_, err := m.Run(&funcProg{nt: 1, worker: func(th *Thread) {
+		th.AllocStatic("static:late", 1, mem.KindWord)
+	}})
+	if err == nil {
+		t.Error("late static allocation accepted")
+	}
+}
+
+// TestIgnoreSetAccessors covers rule introspection.
+func TestIgnoreSetAccessors(t *testing.T) {
+	ig := NewIgnoreSet(
+		IgnoreRule{Site: "b", Offsets: []int{3, 1, 3}},
+		IgnoreRule{Site: "a"},
+		IgnoreRule{Site: "b", Offsets: []int{2}},
+	)
+	if ig.Empty() {
+		t.Error("Empty")
+	}
+	if len(ig.Rules()) != 3 {
+		t.Error("Rules")
+	}
+	sites := ig.Sites()
+	if len(sites) != 2 || sites[0] != "a" || sites[1] != "b" {
+		t.Errorf("Sites = %v", sites)
+	}
+	var nilSet *IgnoreSet
+	if !nilSet.Empty() || nilSet.Rules() != nil || nilSet.Sites() != nil {
+		t.Error("nil ignore set accessors")
+	}
+}
+
+// TestCheckpointHookAbort covers hook-driven cancellation mid-run.
+func TestCheckpointHookAbort(t *testing.T) {
+	var bar *sched.Barrier
+	p := &funcProg{nt: 2,
+		setup: func(th *Thread) { bar = th.Machine().NewBarrier("b") },
+		worker: func(th *Thread) {
+			for i := 0; i < 5; i++ {
+				th.BarrierWait(bar)
+			}
+		},
+	}
+	hookErr := errSentinel{}
+	m := NewMachine(Config{Threads: 2, ScheduleSeed: 1, Scheme: HWInc,
+		CheckpointHook: func(cp Checkpoint) error {
+			if cp.Ordinal == 2 {
+				return hookErr
+			}
+			return nil
+		}})
+	_, err := m.Run(p)
+	if err == nil {
+		t.Fatal("hook abort did not fail the run")
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }

@@ -1,0 +1,138 @@
+package statediff
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"instantcheck/internal/mem"
+)
+
+// snap builds a snapshot from (block, values) specs.
+func snap(blocks []*mem.Block, words map[uint64]uint64) *mem.Snapshot {
+	return &mem.Snapshot{Blocks: blocks, Words: words}
+}
+
+func blk(base uint64, words int, site string, seq int, kind mem.Kind) *mem.Block {
+	return &mem.Block{Base: base, Words: words, Site: site, Seq: seq, Kind: kind, Live: true}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	b := []*mem.Block{blk(0x1000, 2, "s", 0, mem.KindWord)}
+	w := map[uint64]uint64{0x1000: 1, 0x1008: 2}
+	if d := Diff(snap(b, w), snap(b, w)); len(d) != 0 {
+		t.Errorf("diffs on identical states: %v", d)
+	}
+}
+
+func TestDiffAttribution(t *testing.T) {
+	blocks := []*mem.Block{
+		blk(0x1000, 4, "alloc.go:10", 0, mem.KindWord),
+		blk(0x2000, 2, "alloc.go:20", 3, mem.KindFloat),
+	}
+	a := snap(blocks, map[uint64]uint64{
+		0x1000: 1, 0x1008: 2, 0x1010: 3, 0x1018: 4,
+		0x2000: math.Float64bits(1.5), 0x2008: math.Float64bits(2.5),
+	})
+	b := snap(blocks, map[uint64]uint64{
+		0x1000: 1, 0x1008: 99, 0x1010: 3, 0x1018: 4,
+		0x2000: math.Float64bits(1.5), 0x2008: math.Float64bits(7.5),
+	})
+	diffs := Diff(a, b)
+	if len(diffs) != 2 {
+		t.Fatalf("%d diffs", len(diffs))
+	}
+	d0 := diffs[0]
+	if d0.Addr != 0x1008 || d0.Site != "alloc.go:10" || d0.Offset != 1 || d0.A != 2 || d0.B != 99 {
+		t.Errorf("d0 = %+v", d0)
+	}
+	d1 := diffs[1]
+	if d1.Site != "alloc.go:20" || d1.Seq != 3 || d1.Offset != 1 || d1.Kind != mem.KindFloat {
+		t.Errorf("d1 = %+v", d1)
+	}
+	// Float rendering shows float values; word rendering shows hex.
+	if !strings.Contains(d1.Format(), "2.5 != 7.5") {
+		t.Errorf("float format: %s", d1.Format())
+	}
+	if !strings.Contains(d0.Format(), "0x2 != 0x63") {
+		t.Errorf("word format: %s", d0.Format())
+	}
+}
+
+func TestDiffFootprintDivergence(t *testing.T) {
+	shared := blk(0x1000, 1, "s", 0, mem.KindWord)
+	onlyA := blk(0x3000, 1, "extra", 1, mem.KindWord)
+	a := snap([]*mem.Block{shared, onlyA}, map[uint64]uint64{0x1000: 5, 0x3000: 9})
+	b := snap([]*mem.Block{shared}, map[uint64]uint64{0x1000: 5})
+	diffs := Diff(a, b)
+	if len(diffs) != 1 {
+		t.Fatalf("%d diffs", len(diffs))
+	}
+	if diffs[0].OnlyIn != "A" || diffs[0].Site != "extra" {
+		t.Errorf("%+v", diffs[0])
+	}
+	if !strings.Contains(diffs[0].Format(), "only in state A") {
+		t.Errorf("format: %s", diffs[0].Format())
+	}
+}
+
+func TestDiffUnattributed(t *testing.T) {
+	a := snap(nil, map[uint64]uint64{0x5000: 1})
+	b := snap(nil, map[uint64]uint64{0x5000: 2})
+	diffs := Diff(a, b)
+	if len(diffs) != 1 || diffs[0].Site != "?" {
+		t.Errorf("%+v", diffs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	blocks := []*mem.Block{
+		blk(0x1000, 8, "big", 0, mem.KindWord),
+		blk(0x2000, 2, "small", 0, mem.KindWord),
+	}
+	wa := map[uint64]uint64{}
+	wb := map[uint64]uint64{}
+	for i := 0; i < 8; i++ {
+		wa[0x1000+uint64(i)*8] = 1
+		wb[0x1000+uint64(i)*8] = 1
+	}
+	// 3 diffs in big (offsets 1,3,5), 1 in small (offset 0).
+	for _, off := range []uint64{1, 3, 5} {
+		wb[0x1000+off*8] = 42
+	}
+	wa[0x2000], wb[0x2000] = 7, 8
+	wa[0x2008], wb[0x2008] = 9, 9
+
+	sum := Summarize(Diff(snap(blocks, wa), snap(blocks, wb)))
+	if len(sum) != 2 {
+		t.Fatalf("%d groups", len(sum))
+	}
+	if sum[0].Site != "big#0" || sum[0].Words != 3 {
+		t.Errorf("first group %+v", sum[0])
+	}
+	if got := sum[0].Offsets; len(got) != 3 || got[0] != 1 || got[2] != 5 {
+		t.Errorf("offsets %v", got)
+	}
+	if sum[1].Site != "small#0" || sum[1].Words != 1 {
+		t.Errorf("second group %+v", sum[1])
+	}
+}
+
+func TestRender(t *testing.T) {
+	blocks := []*mem.Block{blk(0x1000, 2, "site", 0, mem.KindWord)}
+	a := snap(blocks, map[uint64]uint64{0x1000: 1, 0x1008: 2})
+	b := snap(blocks, map[uint64]uint64{0x1000: 9, 0x1008: 8})
+	out := Render(Diff(a, b), 1)
+	if !strings.Contains(out, "2 differing words") {
+		t.Error("missing count:", out)
+	}
+	if !strings.Contains(out, "site site#0") {
+		t.Error("missing summary:", out)
+	}
+	if !strings.Contains(out, "… 1 more") {
+		t.Error("missing truncation marker:", out)
+	}
+	if Render(nil, 5) != "0 differing words\n" {
+		t.Error("empty render")
+	}
+}
