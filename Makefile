@@ -2,12 +2,15 @@
 
 GO ?= go
 
-.PHONY: all test race bench table1 table2 figures everything cover fmt vet
+.PHONY: all test race bench table1 table2 figures everything cover fmt vet lint
 
-all: test
+all: test lint
 
 test:
 	$(GO) test ./...
+
+lint:
+	$(GO) run ./cmd/icvet ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,115 @@
+// Command icvet runs the instrumentation-discipline analyzers over
+// instantcheck program packages and prints file:line findings.
+//
+// Usage:
+//
+//	icvet [-run names] [-nosuppress] [-list] packages...
+//
+// Each package argument is a directory or a directory followed by /...
+// (recursively, skipping testdata). Exit status is 0 when no findings are
+// reported, 1 when at least one finding is reported, and 2 on usage or
+// load errors.
+//
+// The five analyzers — directstate, atomicity, storekind, lockpair,
+// ignoresite — statically check the contract the paper's SW-InstantCheck
+// schemes assume of instrumented programs (§4.1, §5): every shared store
+// is visible to the hashing unit, read-modify-writes are atomic, FP and
+// integer stores match their blocks' declared kinds, lock and hashing
+// regions pair up, and ignore rules name real allocation sites. Findings
+// can be suppressed with //icvet:ignore comments; see the analysis
+// package's documentation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"instantcheck/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("icvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	noSuppress := fs.Bool("nosuppress", false, "report findings even where //icvet:ignore comments suppress them")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: icvet [-run names] [-nosuppress] [-list] packages...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *runList != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "icvet: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	dirs, err := analysis.ExpandPatterns(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "icvet: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(dirs[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "icvet: %v\n", err)
+		return 2
+	}
+
+	cwd, _ := os.Getwd()
+	found := false
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "icvet: %v\n", err)
+			return 2
+		}
+		for _, d := range analysis.RunAnalyzers(pkg, analyzers, analysis.RunOptions{NoSuppress: *noSuppress}) {
+			found = true
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", relPos(cwd, d), d.Analyzer, d.Message)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+// relPos renders a diagnostic position with the file path relative to the
+// working directory when that is shorter.
+func relPos(cwd string, d analysis.Diagnostic) string {
+	file := d.Pos.Filename
+	if cwd != "" {
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d", file, d.Pos.Line, d.Pos.Column)
+}

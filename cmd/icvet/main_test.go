@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestListAnalyzers checks -list names every analyzer.
+func TestListAnalyzers(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("icvet -list: exit %d, stderr %q", code, errb.String())
+	}
+	for _, name := range []string{"directstate", "atomicity", "storekind", "lockpair", "ignoresite"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestCleanPackage checks a clean tree exits 0 with no output, through
+// the /... pattern expansion.
+func TestCleanPackage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"../../examples/..."}, &out, &errb); code != 0 {
+		t.Fatalf("icvet ../../examples/...: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", out.String())
+	}
+}
+
+// TestSuppressedAndUnsuppressed checks the fixture app is clean by
+// default (its deliberate finding carries an //icvet:ignore comment) and
+// dirty under -nosuppress.
+func TestSuppressedAndUnsuppressed(t *testing.T) {
+	dir := "../../internal/analysis/fixtureapp"
+
+	var out, errb strings.Builder
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("icvet %s: exit %d\nstdout: %s\nstderr: %s", dir, code, out.String(), errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-nosuppress", dir}, &out, &errb); code != 1 {
+		t.Fatalf("icvet -nosuppress %s: exit %d, want 1\nstdout: %s", dir, code, out.String())
+	}
+	if !strings.Contains(out.String(), "[atomicity]") || !strings.Contains(out.String(), "fixtureapp.go") {
+		t.Errorf("-nosuppress output does not report the deliberate atomicity finding:\n%s", out.String())
+	}
+}
+
+// TestUsageErrors checks the exit-2 paths.
+func TestUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no arguments: exit %d, want 2", code)
+	}
+	if code := run([]string{"-run", "nosuch", "."}, &out, &errb); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+	if code := run([]string{"../../does/not/exist"}, &out, &errb); code != 2 {
+		t.Errorf("missing directory: exit %d, want 2", code)
+	}
+}
+
+// TestRunFilter checks -run restricts the analyzer set: the fixture
+// app's atomicity finding disappears when only lockpair runs.
+func TestRunFilter(t *testing.T) {
+	dir := "../../internal/analysis/fixtureapp"
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "lockpair", "-nosuppress", dir}, &out, &errb); code != 0 {
+		t.Fatalf("icvet -run lockpair: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}

@@ -27,7 +27,12 @@
 //   - the state-diff bug-localization tool (§2.3);
 //   - the paper's 17 evaluation workloads and the drivers that regenerate
 //     Table 1, Table 2 and Figures 5, 6 and 8 (see Table1, Table2,
-//     Figure5, Figure6, Figure8).
+//     Figure5, Figure6, Figure8);
+//   - a static analyzer, cmd/icvet, that checks simulated programs obey
+//     the instrumentation contract the hashing schemes assume: no shared
+//     state outside Thread.Load/Store, no unlocked read-modify-writes
+//     (§4.1), kind-correct stores (§5), balanced lock and hashing
+//     regions, and ignore rules that name real allocation sites (§2.2).
 //
 // Quick start: see examples/quickstart, which checks the paper's Figure 1
 // program — internally nondeterministic, externally deterministic.

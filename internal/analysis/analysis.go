@@ -1,0 +1,196 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// (go/ast + go/types only) plus the five icvet analyzers that check the
+// instrumentation discipline simulated programs must follow.
+//
+// The paper's SW-InstantCheck_Inc scheme is only sound when every shared
+// store is instrumented and every read-modify-write is atomic (§4.1): an
+// uninstrumented or racy store silently corrupts the incremental state hash,
+// producing false nondeterminism alarms — or false "deterministic" verdicts.
+// This reproduction has the same trust boundary: workloads must route all
+// shared-memory traffic through sim.Thread methods. The analyzers make that
+// contract checkable at build time:
+//
+//   - directstate: Go-variable reads/writes in Setup/Worker bodies that
+//     bypass Thread.Load/Store (the uninstrumented-store hole);
+//   - atomicity: unlocked read-modify-write of a shared simulated address
+//     (the static mirror of the §4.1 caveat that SWIncNonAtomic exhibits
+//     dynamically);
+//   - storekind: integer stores into KindFloat blocks and FP stores into
+//     KindWord blocks (the runtime checkKind panic, at "compile" time);
+//   - lockpair: Lock/Unlock and StopHashing/StartHashing unbalanced along
+//     function-local control flow;
+//   - ignoresite: IgnoreRule sites that match no allocation site literal in
+//     the package.
+//
+// Findings can be suppressed with a trailing comment on (or a full-line
+// comment above) the offending line:
+//
+//	//icvet:ignore atomicity deliberate §4.1 fixture
+//
+// naming one analyzer, a comma-separated list, or "all".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and suppression comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the pass's package and reports findings.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the finding.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	// Analyzer is the running analyzer.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the five icvet analyzers in their canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{DirectState, Atomicity, StoreKind, LockPair, IgnoreSite}
+}
+
+// ByName returns the named analyzer from All, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunOptions configures RunAnalyzers.
+type RunOptions struct {
+	// NoSuppress disables //icvet:ignore comment processing (used by the
+	// analyzer tests, which assert that deliberately-suppressed findings
+	// are still detected).
+	NoSuppress bool
+}
+
+// RunAnalyzers runs the given analyzers over one loaded package and returns
+// the surviving diagnostics sorted by position then analyzer name.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, opt RunOptions) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		out = append(out, pass.diags...)
+	}
+	if !opt.NoSuppress {
+		out = filterSuppressed(pkg, out)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+const suppressPrefix = "icvet:ignore"
+
+// suppressions maps file -> line -> analyzer names suppressed there. A
+// suppression comment covers both its own line (trailing style) and the
+// following line (full-line style).
+func suppressions(pkg *Package) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, suppressPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue // malformed: no analyzer names
+				}
+				names := strings.Split(fields[0], ",")
+				pos := pkg.Fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return out
+}
+
+// filterSuppressed drops diagnostics covered by //icvet:ignore comments.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	sup := suppressions(pkg)
+	out := diags[:0]
+	for _, d := range diags {
+		names := sup[d.Pos.Filename][d.Pos.Line]
+		suppressed := false
+		for _, n := range names {
+			if n == d.Analyzer || n == "all" {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// inspectFiles applies f to every node of every file in the package.
+func inspectFiles(pkg *Package, f func(ast.Node) bool) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, f)
+	}
+}

@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicity flags unlocked read-modify-write sequences on shared simulated
+// addresses: t.Store(a, f(t.Load(a))) — directly nested or split across
+// statements through a local — with no Lock held at either end.
+//
+// This is the static mirror of the paper's §4.1 atomicity caveat: the
+// incremental scheme's instrumentation reads the old value and writes the
+// new one, and if the program's own read-modify-write is not atomic, a
+// preemption between the load and the store loses concurrent updates
+// (Figure 7(b)) and can feed a stale old value into the hash (the
+// SWIncNonAtomic scheme exhibits exactly this dynamically).
+//
+// Only addresses that are the same on every thread are considered: an
+// address expression built from loop indices, tids, or other basic-typed
+// locals (idx(p.hist, i), idx(p.freeHeads, t.TID())) names per-thread or
+// per-element state that kernels legitimately update without locks.
+// "p.pot"-shaped addresses — receiver fields and package-level state only —
+// are the shared accumulators the caveat is about.
+var Atomicity = &Analyzer{
+	Name: "atomicity",
+	Doc:  "unlocked read-modify-write of a shared simulated address (§4.1)",
+	Run:  runAtomicity,
+}
+
+func runAtomicity(pass *Pass) {
+	s := &atomScanner{pass: pass}
+	funcBodies(pass.Pkg, func(_ string, body *ast.BlockStmt) {
+		s.walkStmts(body.List, newAtomState())
+	})
+}
+
+// atomState is the scanner's flow state: the lock nesting depth and, for
+// each local variable, the shared address its value was loaded from.
+type atomState struct {
+	depth int
+	binds map[types.Object]string
+}
+
+func newAtomState() *atomState {
+	return &atomState{binds: make(map[types.Object]string)}
+}
+
+func (st *atomState) clone() *atomState {
+	c := &atomState{depth: st.depth, binds: make(map[types.Object]string, len(st.binds))}
+	for k, v := range st.binds {
+		c.binds[k] = v
+	}
+	return c
+}
+
+type atomScanner struct {
+	pass *Pass
+}
+
+// walkStmts scans a statement list in order, returning true when control
+// definitely leaves the list early (the remaining statements are dead).
+func (s *atomScanner) walkStmts(list []ast.Stmt, st *atomState) bool {
+	for _, stmt := range list {
+		if s.walkStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *atomScanner) walkStmt(stmt ast.Stmt, st *atomState) bool {
+	switch stmt := stmt.(type) {
+	case *ast.ExprStmt:
+		s.scanExpr(stmt.X, st)
+		return stmtTerminates(stmt)
+	case *ast.AssignStmt:
+		s.assign(stmt, st)
+	case *ast.DeclStmt:
+		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					s.bindSpec(vs, st)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			s.walkStmt(stmt.Init, st)
+		}
+		s.scanExpr(stmt.Cond, st)
+		bodySt := st.clone()
+		bodyTerm := s.walkStmts(stmt.Body.List, bodySt)
+		if stmt.Else == nil {
+			if !bodyTerm {
+				*st = *bodySt
+			}
+			return false
+		}
+		elseSt := st.clone()
+		elseTerm := s.walkStmt(stmt.Else, elseSt)
+		switch {
+		case bodyTerm && !elseTerm:
+			*st = *elseSt
+		case !bodyTerm:
+			*st = *bodySt
+		}
+		return bodyTerm && elseTerm
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			s.walkStmt(stmt.Init, st)
+		}
+		if stmt.Cond != nil {
+			s.scanExpr(stmt.Cond, st)
+		}
+		body := st.clone()
+		s.walkStmts(stmt.Body.List, body)
+		if stmt.Post != nil {
+			s.walkStmt(stmt.Post, body)
+		}
+		*st = *body
+	case *ast.RangeStmt:
+		s.scanExpr(stmt.X, st)
+		body := st.clone()
+		s.walkStmts(stmt.Body.List, body)
+		*st = *body
+	case *ast.BlockStmt:
+		return s.walkStmts(stmt.List, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Each clause is scanned against a copy of the incoming state; the
+		// post-switch state conservatively keeps the incoming one.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				s.walkStmts(n.Body, st.clone())
+				return false
+			case *ast.CommClause:
+				s.walkStmts(n.Body, st.clone())
+				return false
+			}
+			return true
+		})
+	case *ast.LabeledStmt:
+		return s.walkStmt(stmt.Stmt, st)
+	case *ast.ReturnStmt:
+		for _, r := range stmt.Results {
+			s.scanExpr(r, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt, *ast.GoStmt:
+		// A deferred Unlock releases at return, so the rest of the body
+		// stays locked — leave the depth untouched. Everything else in the
+		// call is still scanned for stores.
+		var call *ast.CallExpr
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			call = d.Call
+		} else {
+			call = stmt.(*ast.GoStmt).Call
+		}
+		if name, ok := threadMethod(s.pass.Pkg, call); !ok || (name != "Unlock" && name != "Lock") {
+			s.scanExpr(call, st)
+		}
+	case *ast.IncDecStmt:
+		s.scanExpr(stmt.X, st)
+	case *ast.SendStmt:
+		s.scanExpr(stmt.Chan, st)
+		s.scanExpr(stmt.Value, st)
+	}
+	return false
+}
+
+// assign handles binding: x := t.Load(addr) remembers that x holds the
+// value at addr; any other assignment to x forgets it.
+func (s *atomScanner) assign(stmt *ast.AssignStmt, st *atomState) {
+	pkg := s.pass.Pkg
+	paired := len(stmt.Lhs) == len(stmt.Rhs)
+	for i, rhs := range stmt.Rhs {
+		s.scanExpr(rhs, st)
+		if !paired {
+			continue
+		}
+		id, ok := stmt.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if key := s.loadKey(rhs); key != "" && (stmt.Tok == token.ASSIGN || stmt.Tok == token.DEFINE) {
+			st.binds[obj] = key
+		} else {
+			delete(st.binds, obj)
+		}
+	}
+	if !paired {
+		for _, lhs := range stmt.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					delete(st.binds, obj)
+				} else if obj := pkg.Info.Uses[id]; obj != nil {
+					delete(st.binds, obj)
+				}
+			}
+		}
+	}
+}
+
+func (s *atomScanner) bindSpec(vs *ast.ValueSpec, st *atomState) {
+	if len(vs.Values) != len(vs.Names) {
+		return
+	}
+	for i, rhs := range vs.Values {
+		s.scanExpr(rhs, st)
+		obj := s.pass.Pkg.Info.Defs[vs.Names[i]]
+		if obj == nil {
+			continue
+		}
+		if key := s.loadKey(rhs); key != "" {
+			st.binds[obj] = key
+		}
+	}
+}
+
+// loadKey returns the address key when e contains a Load/LoadF of a shared
+// address ("" otherwise).
+func (s *atomScanner) loadKey(e ast.Expr) string {
+	pkg := s.pass.Pkg
+	key := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if key != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := threadMethod(pkg, call); ok && (name == "Load" || name == "LoadF") && len(call.Args) == 1 {
+			if sharedAddr(pkg, call.Args[0]) {
+				key = exprKey(call.Args[0])
+				return false
+			}
+		}
+		return true
+	})
+	return key
+}
+
+// scanExpr walks an expression in evaluation order, maintaining lock depth
+// and checking stores. Function literals are scanned as separate bodies.
+func (s *atomScanner) scanExpr(e ast.Expr, st *atomState) {
+	pkg := s.pass.Pkg
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.walkStmts(n.Body.List, newAtomState())
+			return false
+		case *ast.CallExpr:
+			name, ok := threadMethod(pkg, n)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Lock":
+				st.depth++
+			case "Unlock":
+				if st.depth > 0 {
+					st.depth--
+				}
+			case "BarrierWait", "CondWait":
+				// Synchronization orders the earlier load before any
+				// conflicting store: the pair is no longer an unlocked RMW.
+				st.binds = make(map[types.Object]string)
+			case "Store", "StoreF":
+				s.checkStore(n, st)
+			}
+		}
+		return true
+	})
+}
+
+// checkStore reports when an unlocked store's value derives from an
+// unlocked load of the same shared address.
+func (s *atomScanner) checkStore(call *ast.CallExpr, st *atomState) {
+	pkg := s.pass.Pkg
+	if st.depth > 0 || len(call.Args) != 2 {
+		return
+	}
+	addr, val := call.Args[0], call.Args[1]
+	if !sharedAddr(pkg, addr) {
+		return
+	}
+	key := exprKey(addr)
+	reported := false
+	report := func(how string) {
+		if reported {
+			return
+		}
+		reported = true
+		s.pass.Reportf(call.Pos(),
+			"read-modify-write of shared address %s is not atomic (%s with no lock held): a preemption between the load and the store loses concurrent updates and corrupts the incremental hash (§4.1)",
+			key, how)
+	}
+	ast.Inspect(val, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := threadMethod(pkg, n); ok && (name == "Load" || name == "LoadF") && len(n.Args) == 1 {
+				if exprKey(n.Args[0]) == key {
+					report("the new value loads the old one in place")
+				}
+			}
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[n]; obj != nil && st.binds[obj] == key {
+				report("the new value is computed from " + n.Name + ", loaded from the same address earlier")
+			}
+		}
+		return true
+	})
+}

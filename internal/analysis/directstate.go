@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DirectState flags reads and writes of plain Go variables inside
+// Setup/Worker bodies that bypass the Thread.Load/Store instrumentation.
+//
+// The simulator's soundness contract (and the paper's, §4.1) is that every
+// shared store is observed by the hashing unit. A program builder can break
+// it invisibly: capture a Go variable in the Worker closure — or touch a
+// package-level variable, or a field of the program struct — and mutate it
+// directly. No hash update fires, no event reaches the race-detector feed,
+// and no test notices, because the corruption is deterministic under the
+// serialized scheduler. The rules:
+//
+//   - Worker may not write any variable declared outside its own body: not
+//     program-struct fields, not captured locals, not package-level vars.
+//     Everything shared must live in simulated memory behind Thread.Store.
+//   - Worker may not read a variable that Worker code writes directly (the
+//     other half of the same race), nor any mutable package-level variable.
+//   - Setup may not write package-level variables, and may not read mutable
+//     ones: a Program instance is built fresh per run, but package state
+//     persists across the runs of a campaign and makes "fixed input" false.
+//
+// Reads of program-struct fields in Worker are allowed — Setup initializes
+// them before workers start and the checker treats them as frozen input.
+var DirectState = &Analyzer{
+	Name: "directstate",
+	Doc:  "Go-state access in Setup/Worker that bypasses Thread.Load/Store",
+	Run:  runDirectState,
+}
+
+func runDirectState(pass *Pass) {
+	pkg := pass.Pkg
+	funcs := progFuncs(pkg)
+	if len(funcs) == 0 {
+		return
+	}
+
+	// Package-level variables that anything in the package assigns are
+	// "mutable": reading them in Setup/Worker observes cross-run state.
+	mutable := make(map[types.Object]bool)
+	inspectFiles(pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if obj := rootWriteObject(pkg, lhs); obj != nil && isPackageLevel(pkg, obj) {
+					mutable[obj] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := rootWriteObject(pkg, n.X); obj != nil && isPackageLevel(pkg, obj) {
+				mutable[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Pass A: collect the objects Worker code writes directly, so reads of
+	// them (from any Worker in the package) can be flagged too.
+	written := make(map[types.Object]bool)
+	for _, pf := range funcs {
+		if pf.kind != "Worker" {
+			continue
+		}
+		forEachWrite(pkg, pf.decl.Body, func(target ast.Expr, _ token.Pos) {
+			if obj, shared := classifyWrite(pkg, pf.decl, target); shared {
+				written[obj] = true
+			}
+		})
+	}
+
+	// Pass B: report.
+	for _, pf := range funcs {
+		pf := pf
+		writePos := make(map[*ast.Ident]bool)
+		forEachWrite(pkg, pf.decl.Body, func(target ast.Expr, pos token.Pos) {
+			obj, shared := classifyWrite(pkg, pf.decl, target)
+			markWriteIdents(target, writePos)
+			if obj == nil {
+				return
+			}
+			switch {
+			case pf.kind == "Worker" && shared:
+				pass.Reportf(pos, "Worker writes %s directly, bypassing Thread.Store: the store is invisible to the state hash and the race-detector feed", objDesc(pkg, obj))
+			case pf.kind == "Setup" && isPackageLevel(pkg, obj):
+				pass.Reportf(pos, "Setup writes package-level %s directly: package state outlives the run and breaks the fixed-input contract; allocate simulated memory instead", objDesc(pkg, obj))
+			}
+		})
+		ast.Inspect(pf.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || writePos[id] {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return true
+			}
+			switch {
+			case pf.kind == "Worker" && written[v]:
+				pass.Reportf(id.Pos(), "Worker reads %s, which Worker code elsewhere writes directly; route this shared state through simulated memory (Thread.Load/Store)", objDesc(pkg, v))
+			case isPackageLevel(pkg, v) && mutable[v]:
+				pass.Reportf(id.Pos(), "%s reads mutable package-level %s, bypassing Thread.Load: its value depends on prior runs of the campaign", pf.kind, objDesc(pkg, v))
+			}
+			return true
+		})
+	}
+}
+
+// forEachWrite calls fn for every assignment target and inc/dec operand in
+// body, skipping pure declarations (v := ... defines a new local).
+func forEachWrite(pkg *Package, body *ast.BlockStmt, fn func(target ast.Expr, pos token.Pos)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if id.Name == "_" {
+						continue
+					}
+					// x := ... declares; not a write to shared state.
+					if pkg.Info.Defs[id] != nil {
+						continue
+					}
+				}
+				fn(lhs, lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			fn(n.X, n.X.Pos())
+		}
+		return true
+	})
+}
+
+// classifyWrite resolves a write target to the object that names the
+// written state and reports whether that state lives outside the enclosing
+// Setup/Worker function. For selector targets the object is the field; the
+// base decides locality, so writing a field of a function-local struct is
+// fine while writing through the receiver is shared.
+func classifyWrite(pkg *Package, fd *ast.FuncDecl, target ast.Expr) (types.Object, bool) {
+	base := target
+	var field types.Object
+	for {
+		switch t := base.(type) {
+		case *ast.ParenExpr:
+			base = t.X
+		case *ast.IndexExpr:
+			base = t.X
+		case *ast.StarExpr:
+			base = t.X
+		case *ast.SelectorExpr:
+			if field == nil {
+				field = pkg.Info.Uses[t.Sel]
+			}
+			base = t.X
+		default:
+			id, ok := base.(*ast.Ident)
+			if !ok {
+				return nil, false
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil {
+				obj = pkg.Info.Defs[id]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return nil, false
+			}
+			named := obj
+			if field != nil {
+				named = field
+			}
+			if isPackageLevel(pkg, v) {
+				return named, true
+			}
+			// Declared inside the function body (locals) -> private to the
+			// thread. The receiver and parameters are declared in the
+			// signature, outside the body, so writes through them are
+			// shared.
+			local := v.Pos() >= fd.Body.Pos() && v.Pos() <= fd.Body.End()
+			return named, !local
+		}
+	}
+}
+
+// rootWriteObject returns the root object a write target ultimately names
+// (the base variable, or the package-level var behind selectors), for the
+// package-level mutability scan.
+func rootWriteObject(pkg *Package, target ast.Expr) types.Object {
+	for {
+		switch t := target.(type) {
+		case *ast.ParenExpr:
+			target = t.X
+		case *ast.IndexExpr:
+			target = t.X
+		case *ast.StarExpr:
+			target = t.X
+		case *ast.SelectorExpr:
+			target = t.X
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[t]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[t]
+		default:
+			return nil
+		}
+	}
+}
+
+// markWriteIdents records the identifiers that make up a write target so
+// the read scan does not double-report them.
+func markWriteIdents(target ast.Expr, set map[*ast.Ident]bool) {
+	ast.Inspect(target, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			set[id] = true
+		}
+		return true
+	})
+}
+
+// objDesc names an object for a diagnostic.
+func objDesc(pkg *Package, obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return "field " + v.Name()
+	}
+	if isPackageLevel(pkg, obj) {
+		return "variable " + obj.Name()
+	}
+	return "variable " + obj.Name()
+}

@@ -1,0 +1,73 @@
+// Package fixtureapp provides two miniature simulated programs for the
+// analysis package's static/dynamic cross-check: Racy performs the
+// paper's §4.1 non-atomic read-modify-write on a shared accumulator;
+// Clean performs the same accumulation under a lock. The static atomicity
+// analyzer must flag Racy's store and stay silent on Clean, and the
+// dynamic happens-before detector plus the SWIncNonAtomic scheme must
+// agree on both counts (see crosscheck_test.go).
+package fixtureapp
+
+import (
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+const (
+	threads = 4
+	rounds  = 6
+)
+
+// Racy increments a shared accumulator with an unlocked
+// load/compute/store sequence — the lost-update shape of Figure 7(b).
+type Racy struct {
+	acc uint64
+}
+
+// Name implements sim.Program.
+func (p *Racy) Name() string { return "fixture-racy" }
+
+// Threads implements sim.Program.
+func (p *Racy) Threads() int { return threads }
+
+// Setup allocates the shared accumulator.
+func (p *Racy) Setup(t *sim.Thread) {
+	p.acc = t.AllocStatic("fx.acc", 1, mem.KindWord)
+}
+
+// Worker performs the deliberately non-atomic accumulation.
+func (p *Racy) Worker(t *sim.Thread) {
+	for i := 0; i < rounds; i++ {
+		v := t.Load(p.acc)
+		t.Compute(3)
+		//icvet:ignore atomicity deliberately racy: the cross-check test asserts this line is flagged
+		t.Store(p.acc, v+1)
+	}
+}
+
+// Clean performs the identical accumulation under a lock.
+type Clean struct {
+	acc  uint64
+	lock *sched.Mutex
+}
+
+// Name implements sim.Program.
+func (p *Clean) Name() string { return "fixture-clean" }
+
+// Threads implements sim.Program.
+func (p *Clean) Threads() int { return threads }
+
+// Setup allocates the accumulator and its lock.
+func (p *Clean) Setup(t *sim.Thread) {
+	p.acc = t.AllocStatic("fx.acc", 1, mem.KindWord)
+	p.lock = t.Machine().NewMutex("fx.lock")
+}
+
+// Worker performs the locked accumulation.
+func (p *Clean) Worker(t *sim.Thread) {
+	for i := 0; i < rounds; i++ {
+		t.Lock(p.lock)
+		t.Store(p.acc, t.Load(p.acc)+1)
+		t.Unlock(p.lock)
+	}
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestGolden runs each analyzer over its fixture package under
+// testdata/src/<name> and checks the diagnostics against the fixture's
+// "want" comments: a line with a comment containing want `regexp` must
+// produce exactly one diagnostic matching the regexp, and no other line
+// may produce any.
+func TestGolden(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			runGolden(t, a.Name)
+		})
+	}
+}
+
+type goldenKey struct {
+	file string
+	line int
+}
+
+func runGolden(t *testing.T, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	a := ByName(name)
+	if a == nil {
+		t.Fatalf("no analyzer named %q", name)
+	}
+
+	wants := parseWants(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", dir)
+	}
+
+	diags := RunAnalyzers(pkg, []*Analyzer{a}, RunOptions{NoSuppress: true})
+	matched := make(map[goldenKey]bool)
+	for _, d := range diags {
+		k := goldenKey{d.Pos.Filename, d.Pos.Line}
+		re, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(k.file), k.line, d.Message)
+			continue
+		}
+		if matched[k] {
+			t.Errorf("second diagnostic at %s:%d: %s", filepath.Base(k.file), k.line, d.Message)
+			continue
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("diagnostic at %s:%d does not match %q:\n  got: %s", filepath.Base(k.file), k.line, re, d.Message)
+		}
+		matched[k] = true
+	}
+	for k, re := range wants {
+		if !matched[k] {
+			t.Errorf("missing diagnostic at %s:%d matching %q", filepath.Base(k.file), k.line, re)
+		}
+	}
+}
+
+// parseWants collects the want `regexp` comments of a fixture package,
+// keyed by the file and line they sit on.
+func parseWants(t *testing.T, pkg *Package) map[goldenKey]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[goldenKey]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "want `")
+				if i < 0 {
+					continue
+				}
+				rest := c.Text[i+len("want `"):]
+				j := strings.Index(rest, "`")
+				if j < 0 {
+					t.Fatalf("%s: unterminated want comment", pkg.Fset.Position(c.Pos()))
+				}
+				re, err := regexp.Compile(rest[:j])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := goldenKey{pos.Filename, pos.Line}
+				if _, dup := wants[k]; dup {
+					t.Fatalf("%s: two want comments on one line", pos)
+				}
+				wants[k] = re
+			}
+		}
+	}
+	return wants
+}

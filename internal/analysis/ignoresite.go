@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// IgnoreSite flags IgnoreRule site strings that match no Malloc/AllocStatic
+// site literal anywhere in the package.
+//
+// Ignore rules implement the paper's §2.2 deletion of legitimately
+// nondeterministic structures from the state hash. A rule whose site label
+// matches nothing is silently inert: the structure it was meant to exclude
+// stays in the hash and the campaign reports false nondeterminism — a
+// frustrating failure mode because the rule *looks* right. Typos in site
+// labels ("cholesky.tasknode" vs "cholesky.taskNode") are exactly the bug
+// class this catches.
+//
+// The check is per-package and purely literal: when the package computes
+// any allocation site dynamically (fmt.Sprintf per-instance labels, as
+// sphinx3 does), the universe of sites is unknowable statically and the
+// analyzer stays silent.
+var IgnoreSite = &Analyzer{
+	Name: "ignoresite",
+	Doc:  "IgnoreRule sites that match no allocation site in the package",
+	Run:  runIgnoreSite,
+}
+
+func runIgnoreSite(pass *Pass) {
+	pkg := pass.Pkg
+
+	sites := make(map[string]bool)
+	dynamicAlloc := false
+	anyAlloc := false
+	inspectFiles(pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := threadMethod(pkg, call)
+		if !ok || (name != "Malloc" && name != "AllocStatic") || len(call.Args) != 3 {
+			return true
+		}
+		anyAlloc = true
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				sites[s] = true
+				return true
+			}
+		}
+		dynamicAlloc = true
+		return true
+	})
+	// Without a complete literal universe there is nothing sound to say:
+	// a package with no allocations draws its sites from elsewhere, and a
+	// package with dynamic site labels has sites we cannot enumerate.
+	if !anyAlloc || dynamicAlloc {
+		return
+	}
+
+	inspectFiles(pkg, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[lit]
+		if !ok || !simNamed(tv.Type, "IgnoreRule") {
+			return true
+		}
+		site, pos, ok := ruleSite(lit)
+		if !ok {
+			return true
+		}
+		if !sites[site] {
+			pass.Reportf(pos, "IgnoreRule site %q matches no Malloc/AllocStatic site literal in this package: the rule deletes nothing from the hash", site)
+		}
+		return true
+	})
+}
+
+// ruleSite extracts the literal Site string of an IgnoreRule composite
+// literal (keyed or positional); ok is false when the site is not a string
+// literal.
+func ruleSite(lit *ast.CompositeLit) (string, token.Pos, bool) {
+	var expr ast.Expr
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Site" {
+				expr = kv.Value
+			}
+			continue
+		}
+		// Positional literal: Site is the first field.
+		if expr == nil {
+			expr = elt
+		}
+	}
+	if expr == nil {
+		return "", 0, false
+	}
+	bl, ok := expr.(*ast.BasicLit)
+	if !ok {
+		return "", 0, false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", 0, false
+	}
+	return s, bl.Pos(), true
+}

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Dir is the package directory on disk.
+	Dir string
+	// Path is the package's import path (module-relative for module
+	// packages), used for display.
+	Path string
+	// Fset positions all files of the package.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's resolution results.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages from source using only the
+// standard library (go/parser, go/types). It stands in for
+// golang.org/x/tools/go/packages, which this repository deliberately does
+// not depend on. Imports are resolved two ways: paths under the enclosing
+// module map to module subdirectories, everything else maps to GOROOT
+// source. Dependency packages are checked with function bodies ignored —
+// only their declarations matter to the analyzed package.
+type Loader struct {
+	// Fset is shared by every package the loader touches.
+	Fset *token.FileSet
+
+	moduleDir  string
+	modulePath string
+	deps       map[string]*types.Package
+	loading    map[string]bool
+}
+
+// NewLoader creates a loader rooted at the Go module that contains dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		moduleDir:  modDir,
+		modulePath: modPath,
+		deps:       make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and reads the module
+// path from its module directive.
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load parses and type-checks the package in dir with full syntax,
+// comments, and type information, ready for analyzers.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.Default.ImportDir(abs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	path := l.displayPath(abs, bp.Name)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	return &Package{
+		Dir:   abs,
+		Path:  path,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// displayPath derives an import-ish path for the package at abs.
+func (l *Loader) displayPath(abs, pkgName string) string {
+	if rel, err := filepath.Rel(l.moduleDir, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.modulePath
+		}
+		return l.modulePath + "/" + filepath.ToSlash(rel)
+	}
+	return abs + " (" + pkgName + ")"
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: dependency packages are
+// type-checked from source with function bodies ignored.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: import %q: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: l, FakeImportC: true, IgnoreFuncBodies: true}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: import %q: %w", path, err)
+	}
+	l.deps[path] = pkg
+	return pkg, nil
+}
+
+// resolveDir maps an import path to a source directory: module-local paths
+// to the module tree, everything else to GOROOT (with the std vendor
+// directory as fallback).
+func (l *Loader) resolveDir(path string) (string, error) {
+	if path == l.modulePath {
+		return l.moduleDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleDir, filepath.FromSlash(rest)), nil
+	}
+	root := filepath.Join(runtime.GOROOT(), "src")
+	dir := filepath.Join(root, filepath.FromSlash(path))
+	if _, err := os.Stat(dir); err == nil {
+		return dir, nil
+	}
+	vendored := filepath.Join(root, "vendor", filepath.FromSlash(path))
+	if _, err := os.Stat(vendored); err == nil {
+		return vendored, nil
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q (not in module %s or GOROOT)", path, l.modulePath)
+}
+
+// ExpandPatterns resolves command-line package patterns into package
+// directories. A pattern is either a directory or a directory followed by
+// "/..." selecting every package beneath it. Like the go tool, the walk
+// skips testdata directories and directories whose name starts with "." or
+// "_"; directories without buildable Go files are dropped.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := pat, false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			root = strings.TrimSuffix(pat, "...")
+			root = strings.TrimSuffix(root, "/")
+			if root == "" {
+				root = "."
+			}
+		}
+		st, err := os.Stat(root)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: pattern %q: %w", pat, err)
+		}
+		if !st.IsDir() {
+			return nil, fmt.Errorf("analysis: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			if hasGoFiles(root) {
+				add(root)
+			} else {
+				return nil, fmt.Errorf("analysis: no Go files in %s", root)
+			}
+			continue
+		}
+		err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir contains at least one non-test Go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

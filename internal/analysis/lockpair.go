@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockPair flags Lock/Unlock and StopHashing/StartHashing operations that
+// are unbalanced along function-local control flow: a Lock never released
+// in its function, an Unlock with no matching Lock, and a StopHashing
+// region never re-enabled.
+//
+// The simulator's mutexes, like pthread mutexes, are not recursive and are
+// not validated for pairing at runtime — a leaked Lock deadlocks only on
+// schedules that contend for it, and a store executed inside a forgotten
+// StopHashing region silently vanishes from the state hash (the §3.3
+// start_hashing/stop_hashing discipline: analysis-tool stores must not
+// pollute the hash, but *program* stores must all reach it).
+//
+// The analysis is a linear walk with branch-termination awareness: an
+// early-return branch's lock state does not leak into the code that runs
+// when the branch was not taken (volrend's hand-coded barrier releases the
+// lock in both an early-return arm and the fall-through path — balanced).
+// Pairing is per-function: lock handoffs between functions are out of
+// scope, as in the paper's tooling.
+var LockPair = &Analyzer{
+	Name: "lockpair",
+	Doc:  "unpaired Lock/Unlock and StopHashing/StartHashing",
+	Run:  runLockPair,
+}
+
+func runLockPair(pass *Pass) {
+	s := &lockScanner{pass: pass}
+	funcBodies(pass.Pkg, func(name string, body *ast.BlockStmt) {
+		st := &lockState{}
+		s.walkStmts(body.List, st)
+		s.finish(name, st)
+	})
+}
+
+// heldLock is one acquired-but-unreleased lock (or hashing stop).
+type heldLock struct {
+	key      string // lock argument expression, or "<hashing>"
+	pos      token.Pos
+	deferred bool // released by a defer: satisfied at function end
+}
+
+type lockState struct {
+	held []heldLock
+}
+
+func (st *lockState) clone() *lockState {
+	return &lockState{held: append([]heldLock(nil), st.held...)}
+}
+
+// release pops the most recent live entry for key; ok is false when none
+// is held.
+func (st *lockState) release(key string) bool {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i].key == key && !st.held[i].deferred {
+			st.held = append(st.held[:i], st.held[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// markDeferred marks the most recent live entry for key as released at
+// function exit.
+func (st *lockState) markDeferred(key string) bool {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i].key == key && !st.held[i].deferred {
+			st.held[i].deferred = true
+			return true
+		}
+	}
+	return false
+}
+
+const hashingKey = "<hashing>"
+
+type lockScanner struct {
+	pass *Pass
+	// loopBreaks is a stack of collectors, one per enclosing for/range
+	// loop, recording the lock state at each unlabeled break. A nil entry
+	// marks a switch/select scope: breaks there leave the switch, not the
+	// loop, and must not register.
+	loopBreaks []*[]*lockState
+}
+
+// collectBreaks runs fn with a fresh break collector on the stack and
+// returns the states captured at unlabeled break statements inside it.
+func (s *lockScanner) collectBreaks(fn func()) []*lockState {
+	var states []*lockState
+	s.loopBreaks = append(s.loopBreaks, &states)
+	fn()
+	s.loopBreaks = s.loopBreaks[:len(s.loopBreaks)-1]
+	return states
+}
+
+// shieldBreaks runs fn with a nil collector pushed, so unlabeled breaks
+// inside (a switch or select clause) do not register with the loop.
+func (s *lockScanner) shieldBreaks(fn func()) {
+	s.loopBreaks = append(s.loopBreaks, nil)
+	fn()
+	s.loopBreaks = s.loopBreaks[:len(s.loopBreaks)-1]
+}
+
+// mergeBreakStates intersects the held sets of the break-exit states: a
+// lock is considered held after the loop only when every break path still
+// holds it (a lock leaked on just some exits is beyond this per-function
+// linear walk).
+func mergeBreakStates(states []*lockState) *lockState {
+	merged := states[0].clone()
+	for _, other := range states[1:] {
+		var kept []heldLock
+		for _, h := range merged.held {
+			for _, o := range other.held {
+				if o.key == h.key {
+					kept = append(kept, h)
+					break
+				}
+			}
+		}
+		merged.held = kept
+	}
+	return merged
+}
+
+func (s *lockScanner) finish(fn string, st *lockState) {
+	for _, h := range st.held {
+		if h.deferred {
+			continue
+		}
+		if h.key == hashingKey {
+			s.pass.Reportf(h.pos, "StopHashing is not re-enabled by StartHashing before %s returns: every later store in the run silently bypasses the state hash", fn)
+		} else {
+			s.pass.Reportf(h.pos, "Lock(%s) is not released before %s returns", h.key, fn)
+		}
+	}
+}
+
+func (s *lockScanner) walkStmts(list []ast.Stmt, st *lockState) bool {
+	for _, stmt := range list {
+		if s.walkStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *lockScanner) walkStmt(stmt ast.Stmt, st *lockState) bool {
+	switch stmt := stmt.(type) {
+	case *ast.ExprStmt:
+		s.scanExpr(stmt.X, st)
+		return stmtTerminates(stmt)
+	case *ast.AssignStmt:
+		for _, e := range stmt.Rhs {
+			s.scanExpr(e, st)
+		}
+		for _, e := range stmt.Lhs {
+			s.scanExpr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.scanExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			s.walkStmt(stmt.Init, st)
+		}
+		s.scanExpr(stmt.Cond, st)
+		bodySt := st.clone()
+		bodyTerm := s.walkStmts(stmt.Body.List, bodySt)
+		if stmt.Else == nil {
+			if !bodyTerm {
+				*st = *bodySt
+			}
+			return false
+		}
+		elseSt := st.clone()
+		elseTerm := s.walkStmt(stmt.Else, elseSt)
+		switch {
+		case bodyTerm && !elseTerm:
+			*st = *elseSt
+		case !bodyTerm:
+			*st = *bodySt
+		}
+		return bodyTerm && elseTerm
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			s.walkStmt(stmt.Init, st)
+		}
+		if stmt.Cond != nil {
+			s.scanExpr(stmt.Cond, st)
+		}
+		body := st.clone()
+		breaks := s.collectBreaks(func() {
+			s.walkStmts(stmt.Body.List, body)
+			if stmt.Post != nil {
+				s.walkStmt(stmt.Post, body)
+			}
+		})
+		if stmt.Cond == nil {
+			// for {}: the fall-through exit is unreachable — the loop is
+			// left only via break (use those states) or return/panic (in
+			// which case the code after the loop is dead).
+			if len(breaks) == 0 {
+				return true
+			}
+			*st = *mergeBreakStates(breaks)
+			return false
+		}
+		*st = *body
+	case *ast.RangeStmt:
+		s.scanExpr(stmt.X, st)
+		body := st.clone()
+		s.collectBreaks(func() {
+			s.walkStmts(stmt.Body.List, body)
+		})
+		*st = *body
+	case *ast.BlockStmt:
+		return s.walkStmts(stmt.List, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		s.shieldBreaks(func() {
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CaseClause:
+					s.walkStmts(n.Body, st.clone())
+					return false
+				case *ast.CommClause:
+					s.walkStmts(n.Body, st.clone())
+					return false
+				}
+				return true
+			})
+		})
+	case *ast.LabeledStmt:
+		return s.walkStmt(stmt.Stmt, st)
+	case *ast.ReturnStmt:
+		for _, r := range stmt.Results {
+			s.scanExpr(r, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		if stmt.Tok == token.BREAK && stmt.Label == nil && len(s.loopBreaks) > 0 {
+			if top := s.loopBreaks[len(s.loopBreaks)-1]; top != nil {
+				*top = append(*top, st.clone())
+			}
+		}
+		return true
+	case *ast.DeferStmt:
+		s.deferred(stmt.Call, st)
+	case *ast.GoStmt:
+		s.scanExpr(stmt.Call, st)
+	case *ast.IncDecStmt:
+		s.scanExpr(stmt.X, st)
+	case *ast.SendStmt:
+		s.scanExpr(stmt.Chan, st)
+		s.scanExpr(stmt.Value, st)
+	}
+	return false
+}
+
+// deferred handles defer t.Unlock(x) / defer t.StartHashing(): the matching
+// acquisition is satisfied at function exit.
+func (s *lockScanner) deferred(call *ast.CallExpr, st *lockState) {
+	name, ok := threadMethod(s.pass.Pkg, call)
+	if !ok {
+		s.scanExpr(call, st)
+		return
+	}
+	switch name {
+	case "Unlock":
+		if len(call.Args) == 1 {
+			key := exprKey(call.Args[0])
+			if !st.markDeferred(key) {
+				s.pass.Reportf(call.Pos(), "deferred Unlock(%s) has no matching Lock in this function", key)
+			}
+		}
+	case "StartHashing":
+		if !st.markDeferred(hashingKey) {
+			s.pass.Reportf(call.Pos(), "deferred StartHashing has no matching StopHashing in this function")
+		}
+	default:
+		s.scanExpr(call, st)
+	}
+}
+
+func (s *lockScanner) scanExpr(e ast.Expr, st *lockState) {
+	pkg := s.pass.Pkg
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Function literals pair independently; runLockPair does not
+			// visit them via funcBodies, so scan here with a fresh state.
+			inner := &lockState{}
+			s.walkStmts(n.Body.List, inner)
+			s.finish("the function literal", inner)
+			return false
+		case *ast.CallExpr:
+			name, ok := threadMethod(pkg, n)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Lock":
+				if len(n.Args) == 1 {
+					st.held = append(st.held, heldLock{key: exprKey(n.Args[0]), pos: n.Pos()})
+				}
+			case "Unlock":
+				if len(n.Args) == 1 {
+					key := exprKey(n.Args[0])
+					if !st.release(key) {
+						s.pass.Reportf(n.Pos(), "Unlock(%s) has no matching Lock in this function", key)
+					}
+				}
+			case "StopHashing":
+				st.held = append(st.held, heldLock{key: hashingKey, pos: n.Pos()})
+			case "StartHashing":
+				if !st.release(hashingKey) {
+					s.pass.Reportf(n.Pos(), "StartHashing without a preceding StopHashing in this function: hashing is already on at thread start, so this pairing is inverted or crosses a function boundary")
+				}
+			}
+		}
+		return true
+	})
+}

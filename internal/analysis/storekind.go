@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+)
+
+// StoreKind flags stores whose instruction kind contradicts the target
+// block's allocation kind: t.Store into a KindFloat block, or t.StoreF into
+// a KindWord block.
+//
+// The paper's FP round-off unit (§5) relies on the compiler knowing which
+// stores are FP stores; the simulator enforces the same invariant at
+// runtime with a checkKind panic. That panic only fires on schedules that
+// execute the bad store — this analyzer makes the mismatch a build-time
+// finding by tracking, per package, which variable each Malloc/AllocStatic
+// result lands in and what kind literal the allocation declared.
+//
+// The tracking is intentionally syntactic: when a store's address
+// expression mentions exactly one variable known to hold a block base, the
+// store is checked against that block's kind. Addresses that mention none
+// (bases hidden behind helper returns) or several are skipped.
+var StoreKind = &Analyzer{
+	Name: "storekind",
+	Doc:  "Store into KindFloat blocks / StoreF into KindWord blocks",
+	Run:  runStoreKind,
+}
+
+// blockInfo records what an allocation declared.
+type blockInfo struct {
+	isFloat  bool
+	site     string // site label when literal, else ""
+	conflict bool   // assigned blocks of both kinds: give up
+}
+
+func runStoreKind(pass *Pass) {
+	pkg := pass.Pkg
+
+	// Pass 1: map variables (and struct fields) to the kind of the block
+	// they were assigned from Malloc/AllocStatic.
+	kinds := make(map[types.Object]*blockInfo)
+	record := func(target ast.Expr, call *ast.CallExpr) {
+		isFloat, ok := allocKind(pkg, call)
+		if !ok {
+			return
+		}
+		obj := kindTarget(pkg, target)
+		if obj == nil {
+			return
+		}
+		site := ""
+		if len(call.Args) >= 1 {
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+				if s, err := strconv.Unquote(lit.Value); err == nil {
+					site = s
+				}
+			}
+		}
+		if prev, ok := kinds[obj]; ok {
+			if prev.isFloat != isFloat {
+				prev.conflict = true
+			}
+			return
+		}
+		kinds[obj] = &blockInfo{isFloat: isFloat, site: site}
+	}
+	inspectFiles(pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if name, ok := threadMethod(pkg, call); ok && (name == "Malloc" || name == "AllocStatic") {
+						record(n.Lhs[i], call)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) != len(n.Names) {
+				return true
+			}
+			for i, rhs := range n.Values {
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if name, ok := threadMethod(pkg, call); ok && (name == "Malloc" || name == "AllocStatic") {
+						record(n.Names[i], call)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(kinds) == 0 {
+		return
+	}
+
+	// Pass 2: check every store whose address names exactly one known block.
+	inspectFiles(pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := threadMethod(pkg, call)
+		if !ok || (name != "Store" && name != "StoreF") || len(call.Args) != 2 {
+			return true
+		}
+		info := addrBlock(pkg, call.Args[0], kinds)
+		if info == nil || info.conflict {
+			return true
+		}
+		isFPStore := name == "StoreF"
+		if isFPStore == info.isFloat {
+			return true
+		}
+		site := info.site
+		if site == "" {
+			site = "?"
+		}
+		if isFPStore {
+			pass.Reportf(call.Pos(), "StoreF into KindWord block (site %q): FP stores must target KindFloat blocks — this store panics at runtime and its value would bypass FP rounding", site)
+		} else {
+			pass.Reportf(call.Pos(), "Store into KindFloat block (site %q): integer stores must target KindWord blocks — this store panics at runtime; use StoreF so the value is rounded before hashing", site)
+		}
+		return true
+	})
+}
+
+// kindTarget resolves the assignment target of a Malloc/AllocStatic result
+// to the object later address expressions will mention. For selector
+// targets that is the *field* object — the same types.Object in every
+// method of the struct — not the receiver, which is a distinct object per
+// declaration and would never match at store sites.
+func kindTarget(pkg *Package, target ast.Expr) types.Object {
+	for {
+		switch t := target.(type) {
+		case *ast.ParenExpr:
+			target = t.X
+		case *ast.IndexExpr:
+			// arr[i] = Malloc(...): key on arr — elements of one table
+			// normally share a kind, and mixed kinds set conflict.
+			target = t.X
+		case *ast.StarExpr:
+			target = t.X
+		case *ast.SelectorExpr:
+			return pkg.Info.Uses[t.Sel]
+		case *ast.Ident:
+			if obj := pkg.Info.Defs[t]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Uses[t]
+		default:
+			return nil
+		}
+	}
+}
+
+// addrBlock returns the block info when the address expression mentions
+// exactly one variable known to hold an allocation base.
+func addrBlock(pkg *Package, addr ast.Expr, kinds map[types.Object]*blockInfo) *blockInfo {
+	var found *blockInfo
+	count := 0
+	ast.Inspect(addr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if info, ok := kinds[obj]; ok {
+			count++
+			found = info
+		}
+		return true
+	})
+	if count != 1 {
+		return nil
+	}
+	return found
+}
+
+// allocKind extracts the kind literal of a Malloc/AllocStatic call,
+// resolving the mem.Kind constants through the argument's own type.
+func allocKind(pkg *Package, call *ast.CallExpr) (isFloat, ok bool) {
+	if len(call.Args) != 3 {
+		return false, false
+	}
+	tv, ok := pkg.Info.Types[call.Args[2]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false, false
+	}
+	got, exact := constant.Int64Val(tv.Value)
+	if !exact {
+		return false, false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false, false
+	}
+	scope := named.Obj().Pkg().Scope()
+	floatConst, ok := scope.Lookup("KindFloat").(*types.Const)
+	if !ok {
+		return false, false
+	}
+	want, exact := constant.Int64Val(floatConst.Val())
+	if !exact {
+		return false, false
+	}
+	return got == want, true
+}

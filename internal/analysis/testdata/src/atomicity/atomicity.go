@@ -1,0 +1,52 @@
+// Package atomicity is a golden fixture for the atomicity analyzer.
+package atomicity
+
+import (
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+type prog struct {
+	acc  uint64
+	hist uint64
+	lock *sched.Mutex
+	bar  *sched.Barrier
+}
+
+func (p *prog) Setup(t *sim.Thread) {
+	p.acc = t.AllocStatic("at.acc", 1, mem.KindWord)
+	p.hist = t.AllocStatic("at.hist", 8, mem.KindWord)
+	p.lock = t.Machine().NewMutex("at.lock")
+	p.bar = t.Machine().NewBarrier("at.bar")
+}
+
+func (p *prog) Worker(t *sim.Thread) {
+	// Directly nested RMW with no lock held.
+	t.Store(p.acc, t.Load(p.acc)+1) // want `read-modify-write of shared address p\.acc is not atomic`
+
+	// The same RMW split across a local variable.
+	v := t.Load(p.acc)
+	t.Compute(2)
+	t.Store(p.acc, v+2) // want `read-modify-write of shared address p\.acc is not atomic`
+
+	// Locked RMW: fine.
+	t.Lock(p.lock)
+	t.Store(p.acc, t.Load(p.acc)+3)
+	t.Unlock(p.lock)
+
+	// Per-thread address (built from a local and the tid): fine.
+	a := p.hist + uint64(t.TID())*mem.WordSize
+	t.Store(a, t.Load(a)+1)
+
+	// Reassigning the local breaks the load-store pairing: storing a
+	// constant is not a read-modify-write.
+	w := t.Load(p.acc)
+	w = 7
+	t.Store(p.acc, w)
+
+	// A barrier between the load and the store orders them.
+	x := t.Load(p.acc)
+	t.BarrierWait(p.bar)
+	t.Store(p.acc, x)
+}

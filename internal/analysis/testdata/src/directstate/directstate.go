@@ -1,0 +1,42 @@
+// Package directstate is a golden fixture for the directstate analyzer.
+//
+// Lines carrying a "want" comment must produce exactly one diagnostic
+// whose message matches the backquoted regexp; every other line must be
+// silent.
+package directstate
+
+import (
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sim"
+)
+
+// counter is assigned below, so it is mutable package state.
+var counter int
+
+// tuning is never assigned: reading it is fine.
+var tuning = 4
+
+type prog struct {
+	data  uint64
+	sum   int
+	ready bool
+}
+
+func (p *prog) Setup(t *sim.Thread) {
+	p.data = t.Malloc("ds.data", 8, mem.KindWord) // ok: frozen input for workers
+	counter++                                     // want `Setup writes package-level variable counter`
+	_ = tuning                                    // ok: immutable package variable
+}
+
+func (p *prog) Worker(t *sim.Thread) {
+	p.sum++    // want `Worker writes field sum directly, bypassing Thread\.Store`
+	v := p.sum // want `Worker reads field sum, which Worker code elsewhere writes directly`
+	_ = v
+	p.ready = true // want `Worker writes field ready directly`
+	n := counter   // want `Worker reads mutable package-level variable counter`
+	_ = n
+	local := 0
+	local++ // ok: declared inside Worker
+	_ = local
+	_ = t.Load(p.data) // ok: instrumented access to simulated memory
+}

@@ -1,0 +1,25 @@
+// Package ignoresite is a golden fixture for the ignoresite analyzer.
+package ignoresite
+
+import (
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sim"
+)
+
+type prog struct {
+	table  uint64
+	static uint64
+}
+
+func (p *prog) Setup(t *sim.Thread) {
+	p.table = t.Malloc("ig.table", 64, mem.KindWord)
+	p.static = t.AllocStatic("ig.static", 8, mem.KindWord)
+}
+
+func rules() *sim.IgnoreSet {
+	return sim.NewIgnoreSet(
+		sim.IgnoreRule{Site: "ig.table"},                     // ok: matches the Malloc above
+		sim.IgnoreRule{Site: "ig.static", Offsets: []int{0}}, // ok
+		sim.IgnoreRule{Site: "ig.tabel"},                     // want `IgnoreRule site "ig\.tabel" matches no Malloc/AllocStatic site literal`
+	)
+}

@@ -1,0 +1,74 @@
+// Package lockpair is a golden fixture for the lockpair analyzer.
+package lockpair
+
+import (
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+func leak(t *sim.Thread, mu *sched.Mutex) {
+	t.Lock(mu) // want `Lock\(mu\) is not released before leak returns`
+	t.Store(0, 1)
+}
+
+func balanced(t *sim.Thread, mu *sched.Mutex) {
+	t.Lock(mu)
+	t.Store(0, 1)
+	t.Unlock(mu)
+}
+
+func deferredUnlock(t *sim.Thread, mu *sched.Mutex) {
+	t.Lock(mu)
+	defer t.Unlock(mu)
+	t.Store(0, 1)
+}
+
+func doubleUnlock(t *sim.Thread, mu *sched.Mutex) {
+	t.Lock(mu)
+	t.Unlock(mu)
+	t.Unlock(mu) // want `Unlock\(mu\) has no matching Lock in this function`
+}
+
+func earlyReturn(t *sim.Thread, mu *sched.Mutex, stop bool) {
+	t.Lock(mu)
+	if stop {
+		t.Unlock(mu)
+		return
+	}
+	t.Store(0, 1)
+	t.Unlock(mu)
+}
+
+// waitLoop is the pbzip2 consumer shape: a condition-less loop whose only
+// exits (break, return) both release the lock.
+func waitLoop(t *sim.Thread, mu *sched.Mutex, c *sched.Cond, addr uint64) {
+	for {
+		t.Lock(mu)
+		for {
+			if t.Load(addr) == 1 {
+				t.Unlock(mu)
+				break
+			}
+			if t.Load(addr) == 2 {
+				t.Unlock(mu)
+				return
+			}
+			t.CondWait(c)
+		}
+	}
+}
+
+func hashingLeak(t *sim.Thread) {
+	t.StopHashing() // want `StopHashing is not re-enabled by StartHashing before hashingLeak returns`
+	t.Store(0, 1)
+}
+
+func hashingBalanced(t *sim.Thread) {
+	t.StopHashing()
+	t.Store(0, 1)
+	t.StartHashing()
+}
+
+func startAlone(t *sim.Thread) {
+	t.StartHashing() // want `StartHashing without a preceding StopHashing`
+}

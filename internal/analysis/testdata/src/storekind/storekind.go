@@ -1,0 +1,33 @@
+// Package storekind is a golden fixture for the storekind analyzer.
+package storekind
+
+import (
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sim"
+)
+
+type prog struct {
+	words  uint64
+	floats uint64
+}
+
+func (p *prog) Setup(t *sim.Thread) {
+	p.words = t.Malloc("sk.words", 4, mem.KindWord)
+	p.floats = t.Malloc("sk.floats", 4, mem.KindFloat)
+}
+
+func (p *prog) Worker(t *sim.Thread) {
+	t.Store(p.words, 1)     // ok: integer store into a word block
+	t.StoreF(p.floats, 1.5) // ok: FP store into a float block
+	t.StoreF(p.words, 2.5)  // want `StoreF into KindWord block \(site "sk\.words"\)`
+	t.Store(p.floats, 3)    // want `Store into KindFloat block \(site "sk\.floats"\)`
+
+	// A locally allocated block is tracked through its variable too.
+	buf := t.Malloc("sk.buf", 2, mem.KindFloat)
+	t.StoreF(buf, 4.5)             // ok
+	t.Store(buf+1*mem.WordSize, 5) // want `Store into KindFloat block \(site "sk\.buf"\)`
+	t.Free(buf)
+
+	// An address mentioning two known blocks is ambiguous: skipped.
+	t.Store(p.words+p.floats, 6)
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// exprKey renders an expression to its canonical source form, the
+// syntactic-identity key the analyzers use to compare address and lock
+// expressions ("p.pot" == "p.pot", "idx(p.hist, i)" != "idx(p.hist, j)").
+func exprKey(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// isThreadType reports whether t (possibly behind a pointer) is the
+// simulator's Thread type — sim.Thread, or the root package's alias of it.
+func isThreadType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Thread" || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "sim" || strings.HasSuffix(p, "internal/sim")
+}
+
+// simNamed reports whether t is the named sim type with the given name.
+func simNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "sim" || strings.HasSuffix(p, "internal/sim")
+}
+
+// threadMethod returns the method name when call is a method call on a
+// *sim.Thread value (t.Store, t.Lock, ...).
+func threadMethod(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s := pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	if !isThreadType(s.Recv()) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(pkg *Package, obj types.Object) bool {
+	return obj != nil && obj.Parent() == pkg.Types.Scope()
+}
+
+// sharedAddr reports whether an address expression denotes the same
+// simulated location on every worker thread. An address is shared when it
+// contains no thread-varying parts: no local variable of basic type (loop
+// indices, tids, offsets — the way kernels form per-thread/per-element
+// addresses) and no call to a Thread method (t.TID() and friends are
+// per-thread). "p.pot" is shared; "idx(p.hist, step)" and
+// "idx(p.freeHeads, t.TID())" are not.
+func sharedAddr(pkg *Package, e ast.Expr) bool {
+	shared := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			v, ok := pkg.Info.Uses[n].(*types.Var)
+			if !ok || v.IsField() || isPackageLevel(pkg, v) {
+				return true
+			}
+			// A local or parameter: varying if it carries a basic value
+			// (index arithmetic); pointers to the program struct and the
+			// thread handle itself do not vary the address.
+			if _, basic := v.Type().Underlying().(*types.Basic); basic {
+				shared = false
+				return false
+			}
+		case *ast.CallExpr:
+			if _, ok := threadMethod(pkg, n); ok {
+				shared = false
+				return false
+			}
+		}
+		return true
+	})
+	return shared
+}
+
+// progFunc is a Setup or Worker entry point of a simulated program.
+type progFunc struct {
+	decl *ast.FuncDecl
+	kind string // "Setup" or "Worker"
+}
+
+// progFuncs finds every Setup/Worker method or function in the package: a
+// function named Setup or Worker whose only parameter is a *sim.Thread.
+func progFuncs(pkg *Package) []progFunc {
+	var out []progFunc
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Setup" && fd.Name.Name != "Worker" {
+				continue
+			}
+			params := fd.Type.Params
+			if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+				continue
+			}
+			pt := pkg.Info.Types[params.List[0].Type].Type
+			if pt == nil || !isThreadType(pt) {
+				continue
+			}
+			out = append(out, progFunc{decl: fd, kind: fd.Name.Name})
+		}
+	}
+	return out
+}
+
+// funcBodies yields every function body in the package — declarations and
+// function literals — for the flow-sensitive analyzers.
+func funcBodies(pkg *Package, visit func(name string, body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(fd.Name.Name, fd.Body)
+		}
+	}
+}
+
+// stmtTerminates reports whether s definitely transfers control out of the
+// enclosing statement list: return, break/continue/goto, panic, or an
+// explicit process exit. It is deliberately syntactic and shallow — the
+// analyzers use it to avoid leaking a branch's lock state into code that
+// only runs when the branch was not taken.
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return fun.Name == "panic"
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			return name == "Exit" || name == "Fatal" || name == "Fatalf" ||
+				name == "Fatalln" || name == "Panic" || name == "Panicf"
+		}
+	case *ast.BlockStmt:
+		return len(s.List) > 0 && stmtTerminates(s.List[len(s.List)-1])
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return stmtTerminates(s.Body) && stmtTerminates(s.Else)
+	}
+	return false
+}

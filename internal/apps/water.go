@@ -230,6 +230,7 @@ func (p *waterProg) Worker(t *sim.Thread) {
 			// between the load and the store loses concurrent additions.
 			e := t.LoadF(p.pot)
 			t.Compute(2)
+			//icvet:ignore atomicity deliberately seeded bug: this is the racy RMW the detector exists to find
 			t.StoreF(p.pot, e+myPot)
 		} else {
 			t.Lock(p.potLock)
