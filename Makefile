@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all test race bench table1 table2 figures everything cover fmt vet lint
+.PHONY: all test race race-farm bench build table1 table2 figures everything cover fmt vet lint
 
 all: test lint
+
+# Build every command, the checkfarm daemon included, into ./bin.
+build:
+	$(GO) build -o bin/ ./cmd/instantcheck ./cmd/statediff ./cmd/icvet ./cmd/checkd
 
 test:
 	$(GO) test ./...
@@ -14,6 +18,11 @@ lint:
 
 race:
 	$(GO) test -race ./...
+
+# The farm's invariants (parallel == sequential, crash resume) under the
+# race detector — the CI subset.
+race-farm:
+	$(GO) test -race ./internal/farm ./internal/core
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

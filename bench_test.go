@@ -247,6 +247,31 @@ func BenchmarkRaceClassification(b *testing.B) {
 	}
 }
 
+// BenchmarkFarmThroughput compares a checking campaign executed
+// sequentially (the paper's loop: one run after another) against the
+// checkfarm's parallel worker pool on the same campaign. Runs of a
+// campaign are independent once the recording run finishes, so wall-clock
+// should shrink toward 1/Parallelism while the report stays identical —
+// the farm's run-level scaling claim.
+func BenchmarkFarmThroughput(b *testing.B) {
+	app := WorkloadByName("radix")
+	for _, par := range []int{1, 2, 4, 8} {
+		par := par
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				camp := Campaign{Runs: 30, Threads: 8, Parallelism: par}
+				rep, err := Check(camp, app.Builder(WorkloadOptions{}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Deterministic() {
+					b.Fatal("radix verdict changed under parallel execution")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSwitchIntervalAblation measures how the scheduler's preemption
 // density affects checking cost (and confirms verdicts are stable across
 // it).

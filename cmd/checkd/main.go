@@ -1,0 +1,87 @@
+// Command checkd is the checkfarm daemon: a determinism-checking service
+// that accepts campaign submissions over HTTP, executes their runs on a
+// parallel worker pool, and persists every State Hash to an append-only
+// log so that a killed daemon resumes half-finished campaigns exactly
+// where they stopped.
+//
+// Usage:
+//
+//	checkd -addr :8347 -store farm.log [-run-workers N] [-job-workers N]
+//
+// The API (see internal/farm):
+//
+//	POST   /api/v1/jobs              submit a campaign (JSON JobSpec)
+//	GET    /api/v1/jobs              list jobs
+//	GET    /api/v1/jobs/{id}         one job's status
+//	DELETE /api/v1/jobs/{id}         cancel
+//	GET    /api/v1/jobs/{id}/report  finished campaign's report
+//	GET    /api/v1/jobs/{id}/hashlog per-checkpoint hash stream (text)
+//	POST   /api/v1/compare           diff two hash logs
+//	GET    /healthz                  liveness
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, interrupts
+// running campaigns after their in-flight runs commit, and exits; the
+// store keeps every committed run, so the next start re-queues the
+// interrupted campaigns and re-executes only what is missing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"instantcheck/internal/farm"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "HTTP listen address")
+	storePath := flag.String("store", "checkfarm.log", "path of the persistent hash-log store")
+	runWorkers := flag.Int("run-workers", runtime.GOMAXPROCS(0), "default run-level parallelism for jobs that set none")
+	jobWorkers := flag.Int("job-workers", 1, "campaigns executed concurrently")
+	flag.Parse()
+	log.SetPrefix("checkd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	store, err := farm.OpenStore(*storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := farm.NewServer(store, farm.Options{
+		RunWorkers: *runWorkers,
+		JobWorkers: *jobWorkers,
+		Logf:       log.Printf,
+	})
+	if n := srv.Resume(); n > 0 {
+		log.Printf("re-queued %d unfinished job(s) from %s", n, *storePath)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv.Start(ctx)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("listening on %s (store %s, %d run workers, %d job workers)",
+		*addr, *storePath, *runWorkers, *jobWorkers)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	srv.Wait() // let interrupted jobs commit their in-flight runs
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"instantcheck"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTable1JSONGolden pins the -json output shape: a fixed-seed small
+// campaign must serialize byte-identically to the checked-in golden file.
+// The golden regenerates with: go test ./cmd/instantcheck -run Golden -update
+func TestTable1JSONGolden(t *testing.T) {
+	cfg := instantcheck.ExperimentConfig{
+		Runs: 10, Threads: 4, Small: true, BaseSeed: 50, InputSeed: 7,
+	}
+	var rows []instantcheck.Table1Row
+	for _, app := range []string{"fft", "barnes"} { // one det, one ndet workload
+		row, err := instantcheck.Table1For(app, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		rows = append(rows, row)
+	}
+	got, err := json.MarshalIndent(table1ToJSON(rows), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "table1_small.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("JSON output drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+
+	// The same rows decode back to the wire shape — the -json contract.
+	var decoded []table1JSON
+	if err := json.Unmarshal(got, &decoded); err != nil {
+		t.Fatalf("golden does not round-trip: %v", err)
+	}
+	if len(decoded) != 2 || decoded[0].App != "fft" || decoded[1].App != "barnes" {
+		t.Errorf("decoded rows = %+v", decoded)
+	}
+	if !decoded[0].DetAsIs || decoded[1].DetAsIs {
+		t.Errorf("fft should be det as-is and barnes not: %+v", decoded)
+	}
+}

@@ -12,6 +12,7 @@
 //	instantcheck fig6   [flags]           # Figure 6: instruction-count overheads
 //	instantcheck fig8   [flags]           # Figure 8: seeded-bug distributions
 //	instantcheck all    [flags]           # everything above
+//	instantcheck remote [-server URL] ... # drive a checkd daemon (see remote.go)
 //
 // Flags: -runs N (default 30), -threads N (default 8), -small (reduced
 // inputs), -seed S, -input S.
@@ -32,6 +33,14 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "remote" {
+		// The remote client has its own verbs and flags; see remote.go.
+		if err := remote(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "instantcheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	runs := fs.Int("runs", 30, "test runs per campaign")
 	threads := fs.Int("threads", 8, "worker threads per run")
@@ -92,7 +101,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: instantcheck <list|check <app>|races <app>|table1|table2|fig5|fig6|fig8|all> [-runs N] [-threads N] [-small] [-seed S] [-input S]`)
+	fmt.Fprintln(os.Stderr, `usage: instantcheck <list|check <app>|races <app>|table1|table2|fig5|fig6|fig8|all> [-runs N] [-threads N] [-small] [-seed S] [-input S]
+       instantcheck remote [-server URL] <submit|status|report|jobs|hashlog|compare|cancel> [args]`)
 }
 
 // races runs the §6.1 application: detect data races and classify each

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"instantcheck/internal/farm"
+)
+
+// remote is the client side of the checkfarm: it talks to a checkd daemon
+// so that campaigns run on a farm machine while this binary only submits
+// specs and renders results.
+//
+//	instantcheck remote [-server URL] submit <app> [flags]
+//	instantcheck remote [-server URL] status <job>
+//	instantcheck remote [-server URL] report <job>
+//	instantcheck remote [-server URL] jobs
+//	instantcheck remote [-server URL] hashlog <job>
+//	instantcheck remote [-server URL] compare <job|@file> <job|@file>
+//	instantcheck remote [-server URL] cancel <job>
+func remote(args []string) error {
+	fs := flag.NewFlagSet("remote", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8347", "checkd base URL")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: instantcheck remote [-server URL] <verb> [args]
+
+verbs:
+  submit <app> [-runs N] [-threads N] [-parallelism N] [-seed S] [-input S]
+               [-scheme hwinc|swinc|swinc-nonatomic|swtr] [-hasher mix64|crc64]
+               [-round-fp] [-isolate] [-small] [-wait]
+  status  <job>             one job's state and progress
+  report  <job>             finished campaign's determinism report
+  jobs                      list all jobs on the daemon
+  hashlog <job>             per-checkpoint hash stream (canonical text form)
+  compare <a> <b>           diff two hash logs; each side is a job id or
+                            @file with a saved hashlog (e.g. from another host)
+  cancel  <job>             cancel a queued or running job`)
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	c := farm.NewClient(*server)
+	verb, rest := rest[0], rest[1:]
+
+	one := func() (farm.JobID, error) {
+		if len(rest) != 1 {
+			return "", fmt.Errorf("remote %s: want exactly one job id", verb)
+		}
+		return farm.JobID(rest[0]), nil
+	}
+	switch verb {
+	case "submit":
+		return remoteSubmit(c, rest)
+	case "status":
+		id, err := one()
+		if err != nil {
+			return err
+		}
+		job, err := c.Job(id)
+		if err != nil {
+			return err
+		}
+		printJob(job)
+		return nil
+	case "jobs":
+		jobs, err := c.Jobs()
+		if err != nil {
+			return err
+		}
+		for _, job := range jobs {
+			printJob(job)
+		}
+		return nil
+	case "report":
+		id, err := one()
+		if err != nil {
+			return err
+		}
+		rep, err := c.Report(id)
+		if err != nil {
+			return err
+		}
+		printReport(rep)
+		return nil
+	case "hashlog":
+		id, err := one()
+		if err != nil {
+			return err
+		}
+		text, err := c.HashLog(id)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	case "compare":
+		if len(rest) != 2 {
+			return fmt.Errorf("remote compare: want two sides (job id or @file)")
+		}
+		req := farm.CompareRequest{}
+		var err error
+		if req.JobA, req.LogA, err = compareSideArg(rest[0]); err != nil {
+			return err
+		}
+		if req.JobB, req.LogB, err = compareSideArg(rest[1]); err != nil {
+			return err
+		}
+		res, err := c.Compare(req)
+		if err != nil {
+			return err
+		}
+		if res.Equal {
+			fmt.Printf("equal: %d runs, hash-identical\n", res.RunsCompared)
+			return nil
+		}
+		fmt.Printf("DIFFER: %d/%d compared runs diverge (a has %d runs, b has %d)\n",
+			len(res.DifferingRuns), res.RunsCompared, res.RunsA, res.RunsB)
+		if res.First != nil {
+			fmt.Printf("first divergence: run %d checkpoint %d (%s): %s vs %s\n",
+				res.First.Run+1, res.First.Ordinal, res.First.Label, res.First.A, res.First.B)
+		}
+		return nil
+	case "cancel":
+		id, err := one()
+		if err != nil {
+			return err
+		}
+		ok, err := c.Cancel(id)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("job %s was already finished", id)
+		}
+		fmt.Printf("%s canceled\n", id)
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("remote: unknown verb %q", verb)
+	}
+}
+
+// compareSideArg maps a CLI compare operand to one side of the request:
+// "@path" loads a saved hash log, anything else names a job on the daemon.
+func compareSideArg(arg string) (farm.JobID, string, error) {
+	if path, ok := strings.CutPrefix(arg, "@"); ok {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return "", "", err
+		}
+		return "", string(b), nil
+	}
+	return farm.JobID(arg), "", nil
+}
+
+func remoteSubmit(c *farm.Client, args []string) error {
+	fs := flag.NewFlagSet("remote submit", flag.ExitOnError)
+	runs := fs.Int("runs", 0, "test runs per campaign (daemon default 30)")
+	threads := fs.Int("threads", 0, "worker threads per run (daemon default 8)")
+	par := fs.Int("parallelism", 0, "concurrent runs (0: daemon's worker count)")
+	seed := fs.Int64("seed", 0, "base schedule seed")
+	input := fs.Int64("input", 0, "input seed for replayed library calls")
+	scheme := fs.String("scheme", "", "hashing scheme: hwinc (default), swinc, swinc-nonatomic, swtr")
+	hasher := fs.String("hasher", "", "location hash: mix64 (default) or crc64")
+	roundFP := fs.Bool("round-fp", false, "round FP values before hashing")
+	isolate := fs.Bool("isolate", false, "apply the workload's small-structure ignore set")
+	small := fs.Bool("small", false, "reduced inputs (fast)")
+	wait := fs.Bool("wait", false, "block until the job finishes and print its report")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: instantcheck remote submit <app> [flags]")
+	}
+	app := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	job, err := c.Submit(farm.JobSpec{
+		App:         app,
+		Runs:        *runs,
+		Threads:     *threads,
+		Parallelism: *par,
+		Seed:        *seed,
+		InputSeed:   *input,
+		Scheme:      *scheme,
+		Hasher:      *hasher,
+		RoundFP:     *roundFP,
+		Isolate:     *isolate,
+		Small:       *small,
+	})
+	if err != nil {
+		return err
+	}
+	printJob(job)
+	if !*wait {
+		return nil
+	}
+	job, err = c.Wait(context.Background(), job.ID, 500*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	printJob(job)
+	if job.State != farm.JobDone {
+		return fmt.Errorf("job %s finished as %s: %s", job.ID, job.State, job.Error)
+	}
+	rep, err := c.Report(job.ID)
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	return nil
+}
+
+func printJob(job *farm.Job) {
+	progress := ""
+	if job.RunsTotal > 0 {
+		progress = fmt.Sprintf("  %d/%d runs", job.RunsDone, job.RunsTotal)
+	}
+	msg := ""
+	if job.Error != "" {
+		msg = "  " + job.Error
+	}
+	fmt.Printf("%-8s %-9s %-14s%s%s\n", job.ID, job.State, job.Spec.App, progress, msg)
+}
+
+func printReport(rep *farm.Report) {
+	verdict := "DETERMINISTIC"
+	if !rep.Deterministic {
+		verdict = "NONDETERMINISTIC"
+		if rep.DetAtEnd {
+			verdict = "internally nondeterministic, deterministic at end"
+		}
+	}
+	fmt.Printf("%s: %s  (%d runs, %d checkpoints: %d det, %d ndet)\n",
+		rep.Program, verdict, rep.Runs, rep.Points, rep.DetPoints, rep.NDetPoints)
+	if rep.ShapeMismatch {
+		fmt.Println("  runs disagree on checkpoint count (shape mismatch)")
+	}
+	if rep.FirstNDetRun > 0 {
+		fmt.Printf("  first nondeterminism detected in run %d\n", rep.FirstNDetRun)
+	}
+	if rep.OutputDistinct > 1 {
+		fmt.Printf("  %d distinct external outputs\n", rep.OutputDistinct)
+	}
+	for _, st := range rep.Stats {
+		if st.Deterministic {
+			continue
+		}
+		fmt.Printf("  ndet checkpoint %2d (%s): hash distribution %v\n", st.Ordinal, st.Label, st.Distribution)
+	}
+}

@@ -32,7 +32,14 @@
 //     the instrumentation contract the hashing schemes assume: no shared
 //     state outside Thread.Load/Store, no unlocked read-modify-writes
 //     (§4.1), kind-correct stores (§5), balanced lock and hashing
-//     regions, and ignore rules that name real allocation sites (§2.2).
+//     regions, and ignore rules that name real allocation sites (§2.2);
+//   - a determinism-checking service, cmd/checkd (internal/farm): a
+//     daemon with a job queue, a worker pool that runs a campaign's
+//     independent runs in parallel (Campaign.Parallelism uses the same
+//     machinery in-process), an append-only crash-tolerant hash-log
+//     store that resumes half-finished campaigns across restarts, and an
+//     HTTP API — driven by `instantcheck remote` — whose hash-log
+//     streams can be diffed across hosts.
 //
 // Quick start: see examples/quickstart, which checks the paper's Figure 1
 // program — internally nondeterministic, externally deterministic.

@@ -67,6 +67,17 @@ func NewLoader(dir string) (*Loader, error) {
 	}, nil
 }
 
+// buildContext selects the files of each package. Cgo is disabled: the
+// loader type-checks pure Go source only, and with cgo on, packages like
+// net would select cgo files whose _C_* definitions live in files the
+// loader cannot process. With it off the stdlib resolves to its pure-Go
+// variants, exactly as under CGO_ENABLED=0.
+var buildContext = func() build.Context {
+	c := build.Default
+	c.CgoEnabled = false
+	return c
+}()
+
 // findModule walks up from dir to the nearest go.mod and reads the module
 // path from its module directive.
 func findModule(dir string) (modDir, modPath string, err error) {
@@ -96,7 +107,7 @@ func (l *Loader) Load(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp, err := build.Default.ImportDir(abs, 0)
+	bp, err := buildContext.ImportDir(abs, 0)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
 	}
@@ -165,7 +176,7 @@ func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.
 	if err != nil {
 		return nil, err
 	}
-	bp, err := build.Default.ImportDir(dir, 0)
+	bp, err := buildContext.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: import %q: %w", path, err)
 	}

@@ -78,7 +78,10 @@ func (ch *Characterization) Best() *Report {
 // paper's explicit programmer input; passing nil means no structures are
 // isolated.
 func (c Campaign) Characterize(build Builder, ignore *sim.IgnoreSet) (*Characterization, error) {
-	c = c.withDefaults()
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 
 	bitC := c
 	bitC.RoundFP = false

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"instantcheck/internal/fpround"
 	"instantcheck/internal/ihash"
@@ -58,15 +59,33 @@ type Campaign struct {
 	// full state capture at the first differing checkpoint, for the
 	// state-diff debugging tool (§2.3). It costs two extra runs.
 	SnapshotDifferingRuns bool
+	// Parallelism is the number of runs executed concurrently. The runs of
+	// a campaign are independent given the recording run's replay logs
+	// (§5), so the recording run executes first and alone, then up to
+	// Parallelism replay runs proceed at a time, each on a private clone of
+	// the logs. The merged report does not depend on completion order —
+	// the paper's order-independence property at run granularity. Values
+	// below 1 (including the zero value) select sequential execution.
+	Parallelism int
 }
 
-// withDefaults fills zero fields with the paper's defaults.
-func (c Campaign) withDefaults() Campaign {
+// withDefaults fills zero fields with the paper's defaults and rejects
+// configurations that are nonsensical rather than merely unset.
+func (c Campaign) withDefaults() (Campaign, error) {
 	if c.Runs == 0 {
 		c.Runs = 30
 	}
+	if c.Runs <= 0 {
+		return c, fmt.Errorf("core: campaign Runs = %d; want > 0", c.Runs)
+	}
 	if c.Threads == 0 {
 		c.Threads = 8
+	}
+	if c.Threads < 0 {
+		return c, fmt.Errorf("core: campaign Threads = %d; want > 0", c.Threads)
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
 	}
 	if c.Scheme == sim.Native {
 		c.Scheme = sim.HWInc
@@ -74,7 +93,7 @@ func (c Campaign) withDefaults() Campaign {
 	if c.RoundFP && !c.Rounding.Enabled() {
 		c.Rounding = fpround.Default
 	}
-	return c
+	return c, nil
 }
 
 // Builder constructs a fresh Program instance for one run. It is called
@@ -202,11 +221,22 @@ func (r *Report) NDetDistGroups() []DistGroup {
 	return out
 }
 
-// Check runs the campaign and compares hashes across runs.
+// Check runs the campaign and compares hashes across runs. With
+// Parallelism > 1 the replay runs execute concurrently on private clones
+// of the replay logs; the report is identical to sequential execution
+// whenever the replay runs stay within the recorded logs (which every
+// correctly record/replayed program does — log growth means a replay run
+// took a path the recording run never exercised).
 func (c Campaign) Check(build Builder) (*Report, error) {
-	c = c.withDefaults()
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if !c.Scheme.Hashing() {
 		return nil, fmt.Errorf("core: campaign scheme %v computes no hashes", c.Scheme)
+	}
+	if c.Parallelism > 1 {
+		return c.checkParallel(build)
 	}
 	addrLog := replay.NewAddrLog()
 	env := replay.NewEnv(c.InputSeed)
@@ -219,6 +249,61 @@ func (c Campaign) Check(build Builder) (*Report, error) {
 		rep.Program = name
 		rep.Runs = append(rep.Runs, res)
 	}
+	c.summarize(rep)
+	if c.SnapshotDifferingRuns && rep.FirstNDetRun > 0 {
+		if err := c.captureDiff(build, rep); err != nil {
+			return nil, fmt.Errorf("core: state-diff capture: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// checkParallel is the Parallelism > 1 path of Check: one Runner, a pool
+// of replay workers, and the same merge stage as the sequential path.
+func (c Campaign) checkParallel(build Builder) (*Report, error) {
+	r, err := c.NewRunner(build)
+	if err != nil {
+		return nil, err
+	}
+	first, err := r.Record()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*sim.Result, c.Runs)
+	results[0] = first
+	runs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < c.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range runs {
+				res, err := r.Replay(run)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				results[run] = res
+			}
+		}()
+	}
+	for run := 1; run < c.Runs; run++ {
+		runs <- run
+	}
+	close(runs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep := &Report{Program: r.Name(), Campaign: c, Runs: results}
 	c.summarize(rep)
 	if c.SnapshotDifferingRuns && rep.FirstNDetRun > 0 {
 		if err := c.captureDiff(build, rep); err != nil {

@@ -340,15 +340,15 @@ func TestOverheadModel(t *testing.T) {
 	}
 	ov := DefaultCostModel.Overheads("x", c)
 	// HW: (1000 + 6) / 1000
-	if got, want := ov.HWInc, 1.006; !close(got, want) {
+	if got, want := ov.HWInc, 1.006; !fpnear(got, want) {
 		t.Errorf("HW = %v, want %v", got, want)
 	}
 	// SW-Inc: 1000 + 6 + 10*161 + 2*161 = 2938
-	if got, want := ov.SWIncIdeal, 2.938; !close(got, want) {
+	if got, want := ov.SWIncIdeal, 2.938; !fpnear(got, want) {
 		t.Errorf("SWInc = %v, want %v", got, want)
 	}
 	// SW-Tr: 1000 + 6 + 50*80 = 5006
-	if got, want := ov.SWTrIdeal, 5.006; !close(got, want) {
+	if got, want := ov.SWTrIdeal, 5.006; !fpnear(got, want) {
 		t.Errorf("SWTr = %v, want %v", got, want)
 	}
 }
@@ -357,16 +357,16 @@ func TestOverheadModel(t *testing.T) {
 func TestOverheadWithIgnores(t *testing.T) {
 	c := sim.Counters{Instr: 1000, IgnoredWordChecks: 100}
 	ov := DefaultCostModel.Overheads("x", c)
-	if got, want := ov.HWInc, 1.3; !close(got, want) { // 3 instr/word
+	if got, want := ov.HWInc, 1.3; !fpnear(got, want) { // 3 instr/word
 		t.Errorf("HW = %v", got)
 	}
 	// SW-Inc pays a full minus+plus hash pair per ignored word.
-	if got, want := ov.SWIncIdeal, (1000.0+100*161)/1000; !close(got, want) {
+	if got, want := ov.SWIncIdeal, (1000.0+100*161)/1000; !fpnear(got, want) {
 		t.Errorf("SWInc = %v, want %v", got, want)
 	}
 	// SW-Tr simply skips ignored words; with CheckpointWords=0 the
 	// subtraction clamps at zero sweep.
-	if got, want := ov.SWTrIdeal, 1.0; !close(got, want) {
+	if got, want := ov.SWTrIdeal, 1.0; !fpnear(got, want) {
 		t.Errorf("SWTr = %v", got)
 	}
 }
@@ -387,12 +387,12 @@ func TestNonIdealSWTr(t *testing.T) {
 		t.Errorf("non-ideal %v <= ideal %v", real, ideal)
 	}
 	// Hand-computed: 10000 + 500*80 + (20*60 + 15*40 + 500*4) = 53800.
-	if want := 5.38; !close(real, want) {
+	if want := 5.38; !fpnear(real, want) {
 		t.Errorf("non-ideal = %v, want %v", real, want)
 	}
 	// No allocations, no sweep: both collapse to 1.
 	empty := sim.Counters{Instr: 1000}
-	if got := DefaultCostModel.NonIdealSWTr(DefaultTrTableCosts, empty); !close(got, 1) {
+	if got := DefaultCostModel.NonIdealSWTr(DefaultTrTableCosts, empty); !fpnear(got, 1) {
 		t.Errorf("empty = %v", got)
 	}
 }
@@ -404,7 +404,7 @@ func TestGeoMean(t *testing.T) {
 		{HWInc: 1, SWIncIdeal: 8, SWTrIdeal: 16},
 	}
 	g := GeoMean(rows)
-	if !close(g.HWInc, 1) || !close(g.SWIncIdeal, 4) || !close(g.SWTrIdeal, 8) {
+	if !fpnear(g.HWInc, 1) || !fpnear(g.SWIncIdeal, 4) || !fpnear(g.SWTrIdeal, 8) {
 		t.Errorf("geomean = %+v", g)
 	}
 	empty := GeoMean(nil)
@@ -427,7 +427,7 @@ func TestMeasureOverhead(t *testing.T) {
 	}
 }
 
-func close(a, b float64) bool {
+func fpnear(a, b float64) bool {
 	d := a - b
 	if d < 0 {
 		d = -d

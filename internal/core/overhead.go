@@ -166,7 +166,10 @@ func GeoMean(rows []Overhead) Overhead {
 // exercise every counter, including ignore-deletion work) and evaluates the
 // cost model.
 func (c Campaign) MeasureOverhead(build Builder) (Overhead, error) {
-	c = c.withDefaults()
+	c, err := c.withDefaults()
+	if err != nil {
+		return Overhead{}, err
+	}
 	rep, err := Campaign{
 		Runs:             1,
 		Threads:          c.Threads,

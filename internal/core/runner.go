@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"instantcheck/internal/replay"
+	"instantcheck/internal/sim"
+)
+
+// Runner exposes a campaign at run granularity, for callers that schedule
+// runs themselves (Campaign.Check's parallel path, the farm's worker
+// pool). The protocol is:
+//
+//  1. Record executes run 1 — the recording run — which populates the
+//     campaign's allocation-address log and env-call streams (§5).
+//  2. Replay executes any of runs 2..Runs, in any order and from any
+//     number of goroutines: each replay run works on a private clone of
+//     the recorded logs, so runs share no mutable state and the outcome
+//     is independent of scheduling.
+//  3. Campaign.Assemble merges the per-run results into a Report. The
+//     comparison is commutative over runs, so a report assembled from
+//     out-of-order parallel results is identical to a sequential one.
+type Runner struct {
+	c        Campaign
+	build    Builder
+	addrLog  *replay.AddrLog
+	env      *replay.Env
+	name     string
+	recorded bool
+}
+
+// NewRunner validates the campaign and prepares its replay state. The
+// returned runner has not executed anything yet; call Record first.
+func (c Campaign) NewRunner(build Builder) (*Runner, error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if !c.Scheme.Hashing() {
+		return nil, fmt.Errorf("core: campaign scheme %v computes no hashes", c.Scheme)
+	}
+	return &Runner{
+		c:       c,
+		build:   build,
+		addrLog: replay.NewAddrLog(),
+		env:     replay.NewEnv(c.InputSeed),
+	}, nil
+}
+
+// Campaign returns the runner's configuration with defaults applied.
+func (r *Runner) Campaign() Campaign { return r.c }
+
+// WithDefaults returns the campaign with the paper's defaults filled in
+// and the explicit fields validated — the same normalization Check
+// performs before running.
+func (c Campaign) WithDefaults() (Campaign, error) { return c.withDefaults() }
+
+// Name returns the program name; it is known once Record has run.
+func (r *Runner) Name() string { return r.name }
+
+// Record executes the recording run (run index 0). It must complete before
+// any Replay call, and may run only once.
+func (r *Runner) Record() (*sim.Result, error) {
+	if r.recorded {
+		return nil, fmt.Errorf("core: Record called twice")
+	}
+	res, name, err := r.c.runOnce(r.build, r.addrLog, r.env, 0, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: run 1: %w", err)
+	}
+	r.name = name
+	r.recorded = true
+	return res, nil
+}
+
+// Replay executes the run with 0-based index run (1 <= run < Runs) against
+// private clones of the recorded logs. It is safe to call concurrently
+// from multiple goroutines once Record has returned.
+func (r *Runner) Replay(run int) (*sim.Result, error) {
+	if !r.recorded {
+		return nil, fmt.Errorf("core: Replay before Record")
+	}
+	if run < 1 || run >= r.c.Runs {
+		return nil, fmt.Errorf("core: replay run index %d out of range [1, %d)", run, r.c.Runs)
+	}
+	res, _, err := r.c.runOnce(r.build, r.addrLog.Clone(), r.env.Fork(forkSeed(r.c.InputSeed, run)), run, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: run %d: %w", run+1, err)
+	}
+	return res, nil
+}
+
+// forkSeed derives the seed for a replay run's private env fork. The fork
+// only draws from this seed if the run grows the recorded streams, and the
+// derivation depends on nothing but the campaign input and the run index,
+// keeping replay runs independent of each other.
+func forkSeed(inputSeed int64, run int) int64 {
+	return inputSeed*0x9E3779B9 + int64(run)*0x85EBCA6B + 1
+}
+
+// Assemble merges per-run results (indexed in run order, all non-nil) into
+// a campaign report — the merge stage of a parallel campaign. Program
+// names the checked program. Assemble performs the same summary as Check;
+// it exists so that callers which executed the runs themselves (possibly
+// resuming some from a persistent hash log) can fold them into the
+// standard report shape.
+func (c Campaign) Assemble(program string, runs []*sim.Result) (*Report, error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) != c.Runs {
+		return nil, fmt.Errorf("core: assemble got %d results for a %d-run campaign", len(runs), c.Runs)
+	}
+	for i, res := range runs {
+		if res == nil {
+			return nil, fmt.Errorf("core: assemble: run %d result missing", i+1)
+		}
+	}
+	rep := &Report{Program: program, Campaign: c, Runs: runs}
+	c.summarize(rep)
+	return rep, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"instantcheck/internal/sim"
+)
+
+// TestCampaignValidation checks withDefaults' input validation: negative
+// run and thread counts are rejected (zero still selects the paper
+// defaults), and Parallelism is clamped to at least 1.
+func TestCampaignValidation(t *testing.T) {
+	if _, err := (Campaign{Runs: -1}).Check(detBuilder()); err == nil || !strings.Contains(err.Error(), "Runs") {
+		t.Errorf("negative Runs not rejected: %v", err)
+	}
+	if _, err := (Campaign{Threads: -2}).withDefaults(); err == nil || !strings.Contains(err.Error(), "Threads") {
+		t.Errorf("negative Threads not rejected: %v", err)
+	}
+	c, err := Campaign{Parallelism: -5}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Parallelism != 1 {
+		t.Errorf("Parallelism = %d; want clamped to 1", c.Parallelism)
+	}
+	if c.Runs != 30 || c.Threads != 8 {
+		t.Errorf("paper defaults not applied: %d runs, %d threads", c.Runs, c.Threads)
+	}
+	if _, err := (Campaign{Runs: -1}).NewRunner(detBuilder()); err == nil {
+		t.Error("NewRunner accepted negative Runs")
+	}
+}
+
+// normalizeCampaign erases the fields that legitimately differ between the
+// sequential and parallel configurations of the same campaign.
+func normalizeCampaign(r *Report) {
+	r.Campaign.Parallelism = 1
+}
+
+// TestParallelEqualsSequential is the order-independence invariant at run
+// granularity: a campaign executed with a pool of concurrent replay
+// workers produces a byte-identical report to the sequential loop, for
+// both a deterministic and a nondeterministic program.
+func TestParallelEqualsSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() Builder
+	}{{"det", detBuilder}, {"racy", racyBuilder}} {
+		t.Run(tc.name, func(t *testing.T) {
+			camp := testCampaign()
+			seq, err := camp.Check(tc.build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			camp.Parallelism = 8
+			par, err := camp.Check(tc.build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			normalizeCampaign(seq)
+			normalizeCampaign(par)
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("parallel report differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+			}
+		})
+	}
+}
+
+// TestRunnerProtocol checks the Record-before-Replay discipline and the
+// index bounds.
+func TestRunnerProtocol(t *testing.T) {
+	r, err := testCampaign().NewRunner(detBuilder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Replay(1); err == nil {
+		t.Error("Replay before Record accepted")
+	}
+	if _, err := r.Record(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "toy" {
+		t.Errorf("name = %q", r.Name())
+	}
+	if _, err := r.Record(); err == nil {
+		t.Error("second Record accepted")
+	}
+	for _, run := range []int{0, -1, r.Campaign().Runs} {
+		if _, err := r.Replay(run); err == nil {
+			t.Errorf("out-of-range replay index %d accepted", run)
+		}
+	}
+}
+
+// TestAssemble checks the merge stage: results gathered through the runner
+// fold into the same report Check produces, and malformed inputs are
+// rejected.
+func TestAssemble(t *testing.T) {
+	camp := testCampaign()
+	want, err := camp.Check(detBuilder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := camp.NewRunner(detBuilder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*sim.Result, camp.Runs)
+	if results[0], err = r.Record(); err != nil {
+		t.Fatal(err)
+	}
+	// Fold replay results in reverse order: assembly must not care.
+	for run := camp.Runs - 1; run >= 1; run-- {
+		if results[run], err = r.Replay(run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := camp.Assemble(r.Name(), results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizeCampaign(want)
+	normalizeCampaign(got)
+	if !reflect.DeepEqual(want, got) {
+		t.Error("assembled report differs from Check's")
+	}
+	if _, err := camp.Assemble("toy", results[:1]); err == nil {
+		t.Error("short result slice accepted")
+	}
+	results[3] = nil
+	if _, err := camp.Assemble("toy", results); err == nil {
+		t.Error("nil result accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a checkd daemon's HTTP API. The zero HTTPClient uses
+// http.DefaultClient; BaseURL is like "http://localhost:8347".
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do performs one API call, decoding a JSON response into out (unless out
+// is nil) and mapping error payloads to Go errors.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("farm: %s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("farm: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a campaign and returns the accepted job.
+func (c *Client) Submit(spec JobSpec) (*Job, error) {
+	var job Job
+	if err := c.do(http.MethodPost, "/api/v1/jobs", spec, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(id JobID) (*Job, error) {
+	var job Job
+	if err := c.do(http.MethodGet, "/api/v1/jobs/"+string(id), nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Jobs lists all jobs on the daemon.
+func (c *Client) Jobs() ([]*Job, error) {
+	var out struct {
+		Jobs []*Job `json:"jobs"`
+	}
+	if err := c.do(http.MethodGet, "/api/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Report fetches a finished job's report.
+func (c *Client) Report(id JobID) (*Report, error) {
+	var rep Report
+	if err := c.do(http.MethodGet, "/api/v1/jobs/"+string(id)+"/report", nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// HashLog fetches a job's per-checkpoint hash stream in the canonical
+// text form — the unit of cross-host comparison.
+func (c *Client) HashLog(id JobID) (string, error) {
+	resp, err := c.http().Get(c.BaseURL + "/api/v1/jobs/" + string(id) + "/hashlog")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 300 {
+		return "", fmt.Errorf("farm: hashlog %s: HTTP %d", id, resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+// Compare diffs two hash logs (jobs on the daemon, or inline logs fetched
+// from elsewhere).
+func (c *Client) Compare(req CompareRequest) (*CompareResult, error) {
+	var res CompareResult
+	if err := c.do(http.MethodPost, "/api/v1/compare", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Cancel cancels a queued or running job; it reports whether the daemon
+// actually canceled it.
+func (c *Client) Cancel(id JobID) (bool, error) {
+	var out struct {
+		Canceled bool `json:"canceled"`
+	}
+	if err := c.do(http.MethodDelete, "/api/v1/jobs/"+string(id), nil, &out); err != nil {
+		return false, err
+	}
+	return out.Canceled, nil
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id JobID, poll time.Duration) (*Job, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		job, err := c.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		if job.State.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package farm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"instantcheck/internal/core"
+	"instantcheck/internal/sim"
+)
+
+// runJob executes one campaign with run-level parallelism, the heart of
+// the worker pool:
+//
+//   - the recording run executes first and alone (it records the replay
+//     logs every other run depends on, §5);
+//   - the remaining runs fan out across Parallelism workers, each run on a
+//     private clone of the logs;
+//   - runs already committed in prior (a resumed campaign) are not
+//     re-executed — their hash vectors come straight from the store;
+//   - the merge stage folds all vectors into a report. The hash combine
+//     and the cross-run comparison are commutative, so the report is
+//     byte-identical to a sequential campaign's.
+//
+// onRun is called once per newly executed run, from at most one goroutine
+// at a time per run but concurrently across runs; the store's AppendRun is
+// the intended sink. progress is called after every finished run.
+func runJob(ctx context.Context, spec JobSpec, prior *JobLog,
+	onRun func(run int, res *sim.Result) error,
+	progress func(done, total int)) (*Report, *core.Report, error) {
+
+	camp, build, err := spec.Resolve()
+	if err != nil {
+		return nil, nil, err
+	}
+	runner, err := camp.NewRunner(build)
+	if err != nil {
+		return nil, nil, err
+	}
+	camp = runner.Campaign() // defaults applied
+	total := camp.Runs
+	results := make([]*sim.Result, total)
+	done := 0
+	report := func(run int, res *sim.Result) error {
+		if onRun != nil {
+			if err := onRun(run, res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Resurrect committed runs from the store. Their hashes are trusted;
+	// run 0 is additionally cross-checked below against the re-recorded
+	// vector, which catches a log written by a different binary or input.
+	if prior != nil {
+		for _, run := range prior.CompletedRuns() {
+			if run < total {
+				results[run] = prior.Run(run).Result()
+				done++
+			}
+		}
+	}
+
+	// Recording run. Even when run 0 was committed before a restart it is
+	// re-executed: the in-memory replay logs exist only as a side effect
+	// of recording, and re-recording is deterministic.
+	first, err := runner.Record()
+	if err != nil {
+		return nil, nil, err
+	}
+	if results[0] != nil {
+		if err := sameVector(results[0], first); err != nil {
+			return nil, nil, fmt.Errorf("farm: stored hash log disagrees with re-recorded run 1: %w", err)
+		}
+	} else {
+		if err := report(0, first); err != nil {
+			return nil, nil, err
+		}
+		done++
+	}
+	results[0] = first
+	if progress != nil {
+		progress(done, total)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	var need []int
+	for run := 1; run < total; run++ {
+		if results[run] == nil {
+			need = append(need, run)
+		}
+	}
+	workers := camp.Parallelism
+	if workers > len(need) {
+		workers = len(need)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	runs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range runs {
+				if ctx.Err() != nil {
+					continue
+				}
+				res, err := runner.Replay(run)
+				if err == nil {
+					err = report(run, res)
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					results[run] = res
+					done++
+					if progress != nil {
+						progress(done, total)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, run := range need {
+		runs <- run
+	}
+	close(runs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	coreRep, err := camp.Assemble(runner.Name(), results)
+	if err != nil {
+		return nil, nil, err
+	}
+	return projectReport(coreRep), coreRep, nil
+}
+
+// sameVector checks a stored run's hash vector against a re-executed one.
+func sameVector(stored, fresh *sim.Result) error {
+	if len(stored.Checkpoints) != len(fresh.Checkpoints) {
+		return fmt.Errorf("stored %d checkpoints, re-executed %d", len(stored.Checkpoints), len(fresh.Checkpoints))
+	}
+	for i := range stored.Checkpoints {
+		if stored.Checkpoints[i].SH != fresh.Checkpoints[i].SH {
+			return fmt.Errorf("checkpoint %d: stored %v, re-executed %v",
+				i, stored.Checkpoints[i].SH, fresh.Checkpoints[i].SH)
+		}
+	}
+	return nil
+}
+
+// reportFromLog assembles a finished job's report purely from its stored
+// hash log — the restart path for jobs that completed before the daemon
+// went down. Every run must be committed.
+func reportFromLog(jl *JobLog) (*Report, error) {
+	camp, _, err := jl.Spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	camp, err = camp.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	completed := jl.CompletedRuns()
+	if len(completed) != camp.Runs {
+		return nil, fmt.Errorf("farm: job %s: %d of %d runs in log", jl.ID, len(completed), camp.Runs)
+	}
+	results := make([]*sim.Result, camp.Runs)
+	for _, run := range completed {
+		if run >= camp.Runs {
+			return nil, fmt.Errorf("farm: job %s: run %d out of range", jl.ID, run)
+		}
+		results[run] = jl.Run(run).Result()
+	}
+	coreRep, err := camp.Assemble(jl.Spec.App, results)
+	if err != nil {
+		return nil, err
+	}
+	return projectReport(coreRep), nil
+}

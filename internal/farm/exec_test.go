@@ -1,0 +1,236 @@
+package farm
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"instantcheck/internal/core"
+	"instantcheck/internal/sim"
+)
+
+// smokeSpec is a campaign sized so that the full invariant matrix stays
+// fast: small inputs, 8 runs, 4 threads.
+func smokeSpec(app, hasher string) JobSpec {
+	return JobSpec{
+		App:         app,
+		Runs:        8,
+		Threads:     4,
+		Seed:        50,
+		InputSeed:   7,
+		Hasher:      hasher,
+		Small:       true,
+		Parallelism: 8,
+	}
+}
+
+// normalizeCampaigns makes the two reports' campaigns comparable: the
+// parallel path records the Parallelism it used, the sequential one
+// records 1, and that field by design must not influence anything else.
+func normalizeCampaigns(a, b *core.Report) {
+	a.Campaign.Parallelism = 1
+	b.Campaign.Parallelism = 1
+}
+
+// TestParallelEqualsSequentialFarm is the subsystem's central invariant:
+// for a smoke subset of apps and both hashers, a campaign pushed through
+// the farm's worker pool with Parallelism 8 yields a report identical to
+// the legacy sequential Campaign.Check.
+func TestParallelEqualsSequentialFarm(t *testing.T) {
+	for _, app := range []string{"fft", "lu", "radix", "barnes"} {
+		for _, hasher := range []string{"mix64", "crc64"} {
+			t.Run(app+"/"+hasher, func(t *testing.T) {
+				t.Parallel()
+				spec := smokeSpec(app, hasher)
+
+				seq := spec
+				seq.Parallelism = 1
+				camp, build, err := seq.Resolve()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := camp.Check(build)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				_, got, err := runJob(context.Background(), spec, nil, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				normalizeCampaigns(want, got)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("parallel farm report differs from sequential:\nseq %+v\npar %+v", want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestRunJobResume simulates a daemon crash: a campaign's store log is
+// truncated to a committed prefix plus a torn trailing line, and the job
+// is re-run against the surviving log. The resumed report must be
+// identical to the uninterrupted one, and only the missing runs may
+// re-execute.
+func TestRunJobResume(t *testing.T) {
+	spec := smokeSpec("radix", "mix64")
+	dir := t.TempDir()
+
+	// Uninterrupted reference execution, persisted the way the daemon
+	// does it.
+	s1, err := OpenStore(filepath.Join(dir, "full.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s1.NextID()
+	if err := s1.BeginJob(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	sink := func(st *Store) func(int, *sim.Result) error {
+		return func(run int, res *sim.Result) error { return st.AppendRun(id, run, res) }
+	}
+	want, _, err := runJob(context.Background(), spec, nil, sink(s1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: keep the prefix up to and including the 4th runend commit,
+	// then a torn half-line.
+	raw, err := os.ReadFile(filepath.Join(dir, "full.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	var prefix strings.Builder
+	commits := 0
+	for _, l := range lines {
+		prefix.WriteString(l)
+		if strings.HasPrefix(l, "runend ") {
+			commits++
+			if commits == 4 {
+				break
+			}
+		}
+	}
+	prefix.WriteString("cp " + string(id) + " 6 0 00dead") // torn write
+	crashPath := filepath.Join(dir, "crashed.log")
+	if err := os.WriteFile(crashPath, []byte(prefix.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(crashPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	jl := s2.Job(id)
+	if jl == nil {
+		t.Fatal("job missing from crashed log")
+	}
+	survivors := jl.CompletedRuns()
+	if len(survivors) != 4 {
+		t.Fatalf("committed runs in crashed log = %v, want 4", survivors)
+	}
+
+	var (
+		mu         sync.Mutex
+		reExecuted []int
+	)
+	onRun := func(run int, res *sim.Result) error {
+		mu.Lock()
+		reExecuted = append(reExecuted, run)
+		mu.Unlock()
+		return s2.AppendRun(id, run, res)
+	}
+	got, _, err := runJob(context.Background(), spec, jl, onRun, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire report carries only hash-level data, so a resumed campaign
+	// must reproduce it bit for bit. (The core report's per-run simulator
+	// counters are deliberately absent from resurrected runs.)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("resumed wire report differs:\nfull    %+v\nresumed %+v", want, got)
+	}
+	// Only runs missing from the log were re-executed and re-persisted
+	// (run 0 always re-executes for its replay logs but is not re-stored).
+	surviving := map[int]bool{}
+	for _, r := range survivors {
+		surviving[r] = true
+	}
+	for _, r := range reExecuted {
+		if surviving[r] {
+			t.Errorf("run %d re-executed despite committed log entry", r)
+		}
+	}
+	if len(reExecuted) != spec.Runs-len(survivors) {
+		t.Errorf("re-executed %v, want the %d missing runs", reExecuted, spec.Runs-len(survivors))
+	}
+	// After the resume the log is complete and can reproduce the report
+	// without any execution at all.
+	fromLog, err := reportFromLog(s2.Job(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, fromLog) {
+		t.Errorf("report assembled purely from log differs:\nlive %+v\nlog  %+v", want, fromLog)
+	}
+}
+
+// TestRunJobRejectsForeignLog checks the cross-check of the recording
+// run: a stored hash log that disagrees with re-recorded run 1 (wrong
+// binary, wrong input) must fail loudly instead of merging silently.
+func TestRunJobRejectsForeignLog(t *testing.T) {
+	spec := smokeSpec("fft", "mix64")
+	dir := t.TempDir()
+	s, err := OpenStore(filepath.Join(dir, "farm.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id := s.NextID()
+	if err := s.BeginJob(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	// A committed run 0 with a bogus hash vector.
+	if err := s.AppendRun(id, 0, testResult(0x1234, 3)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = runJob(context.Background(), spec, s.Job(id), nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "disagrees") {
+		t.Errorf("foreign log accepted: err = %v", err)
+	}
+}
+
+// TestJobSpecResolve covers spec validation at the service boundary.
+func TestJobSpecResolve(t *testing.T) {
+	if _, _, err := (JobSpec{App: "no-such-app"}).Resolve(); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, _, err := (JobSpec{App: "fft", Scheme: "warp"}).Resolve(); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, _, err := (JobSpec{App: "fft", Hasher: "md5"}).Resolve(); err == nil {
+		t.Error("unknown hasher accepted")
+	}
+	if _, _, err := (JobSpec{App: "fft", Runs: -1}).Resolve(); err == nil {
+		t.Error("negative runs accepted")
+	}
+	camp, build, err := (JobSpec{App: "fft", Scheme: "swinc", Hasher: "crc64", Small: true}).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if build == nil {
+		t.Fatal("nil builder")
+	}
+	if camp.Scheme != sim.SWInc {
+		t.Errorf("scheme = %v", camp.Scheme)
+	}
+}

@@ -1,0 +1,326 @@
+// Package farm implements checkfarm: a long-running determinism-checking
+// service on top of the core checker. The paper's workflow — run the same
+// program on the same input many times and compare per-checkpoint State
+// Hashes (§2) — is an embarrassingly parallel campaign, and the farm turns
+// it into infrastructure:
+//
+//   - a job queue accepts check campaigns (workload + options), schedules
+//     them FIFO, tracks per-job status and supports cancellation;
+//   - a worker pool exploits run-level independence: each of a campaign's
+//     runs is reproducible from (schedule seed, replay logs) alone (§5),
+//     so after the recording run, replay runs execute concurrently and a
+//     merge stage folds the per-run hash vectors into one report — the
+//     hash combine is commutative, so the report is identical no matter
+//     how the runs interleave (the paper's order-independence property at
+//     run granularity);
+//   - a persistent hash-log store appends one line per (job, run,
+//     checkpoint, SH) to an on-disk log, so a restarted daemon resumes
+//     partially-complete campaigns where they stopped, and hash logs from
+//     two hosts can be diffed — §6.3's hash-assisted replay log made
+//     durable;
+//   - an HTTP JSON API (submit / status / report / hash-log stream /
+//     compare) serves the whole thing; cmd/checkd is the daemon and the
+//     Client type plus `instantcheck remote` are the callers.
+package farm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"instantcheck/internal/apps"
+	"instantcheck/internal/core"
+	"instantcheck/internal/ihash"
+	"instantcheck/internal/sim"
+)
+
+// JobID identifies one submitted campaign, unique within a store.
+type JobID string
+
+// JobSpec is the wire-format description of a check campaign: everything
+// needed to reconstruct the core.Campaign and the workload builder on any
+// host. All fields except App are optional; zero values select the paper's
+// defaults (30 runs, 8 threads, HW-InstantCheck_Inc, the mix64 hasher).
+type JobSpec struct {
+	// App names the workload to check (one of the 17 evaluation kernels).
+	App string `json:"app"`
+	// Runs is the campaign's run count.
+	Runs int `json:"runs,omitempty"`
+	// Threads is the worker thread count per run.
+	Threads int `json:"threads,omitempty"`
+	// Parallelism is the number of replay runs executed concurrently.
+	// Zero lets the daemon choose its configured default.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Seed is the base schedule seed; run i uses Seed + i.
+	Seed int64 `json:"seed,omitempty"`
+	// InputSeed fixes the replayed input streams.
+	InputSeed int64 `json:"input_seed,omitempty"`
+	// SwitchInterval is the scheduler's mean preemption interval.
+	SwitchInterval int `json:"switch_interval,omitempty"`
+	// Scheme selects the hashing scheme: "hwinc" (default), "swinc",
+	// "swinc-nonatomic" or "swtr".
+	Scheme string `json:"scheme,omitempty"`
+	// Hasher selects the location hash: "mix64" (default) or "crc64".
+	Hasher string `json:"hasher,omitempty"`
+	// RoundFP enables the FP round-off unit for the whole campaign.
+	RoundFP bool `json:"round_fp,omitempty"`
+	// Isolate applies the workload's small-structure ignore set (§2.2).
+	Isolate bool `json:"isolate,omitempty"`
+	// Small selects the reduced (unit-test scale) input.
+	Small bool `json:"small,omitempty"`
+}
+
+// schemes maps wire names to simulator schemes.
+var schemes = map[string]sim.Scheme{
+	"":                sim.HWInc,
+	"hwinc":           sim.HWInc,
+	"swinc":           sim.SWInc,
+	"swinc-nonatomic": sim.SWIncNonAtomic,
+	"swtr":            sim.SWTr,
+}
+
+// Resolve maps the spec to a campaign and a workload builder, validating
+// every field. It is the single point where wire names become checker
+// configuration, shared by the daemon, the resume path and the clients.
+func (s JobSpec) Resolve() (core.Campaign, core.Builder, error) {
+	app := apps.ByName(s.App)
+	if app == nil {
+		return core.Campaign{}, nil, fmt.Errorf("farm: unknown workload %q (have %s)",
+			s.App, strings.Join(apps.Names(), ", "))
+	}
+	scheme, ok := schemes[s.Scheme]
+	if !ok {
+		return core.Campaign{}, nil, fmt.Errorf("farm: unknown scheme %q (want hwinc, swinc, swinc-nonatomic or swtr)", s.Scheme)
+	}
+	var hasher ihash.Hasher
+	switch s.Hasher {
+	case "", "mix64":
+		hasher = nil // campaign default
+	case "crc64":
+		hasher = ihash.CRC64{}
+	default:
+		return core.Campaign{}, nil, fmt.Errorf("farm: unknown hasher %q (want mix64 or crc64)", s.Hasher)
+	}
+	var ignore *sim.IgnoreSet
+	if s.Isolate {
+		ignore = app.IgnoreSet()
+	}
+	camp, err := core.Campaign{
+		Runs:             s.Runs,
+		Threads:          s.Threads,
+		Parallelism:      s.Parallelism,
+		BaseScheduleSeed: s.Seed,
+		InputSeed:        s.InputSeed,
+		SwitchInterval:   s.SwitchInterval,
+		Scheme:           scheme,
+		Hasher:           hasher,
+		RoundFP:          s.RoundFP,
+		Ignore:           ignore,
+	}.WithDefaults()
+	if err != nil {
+		return core.Campaign{}, nil, err
+	}
+	build := app.Builder(apps.Options{Threads: camp.Threads, Small: s.Small})
+	return camp, build, nil
+}
+
+// CheckpointStat is the wire projection of one checkpoint's cross-run
+// distribution.
+type CheckpointStat struct {
+	Ordinal       int    `json:"ordinal"`
+	Label         string `json:"label"`
+	Distribution  []int  `json:"distribution"`
+	Deterministic bool   `json:"deterministic"`
+}
+
+// Report is the wire projection of a campaign outcome. It carries exactly
+// the hash-level results — verdicts, distributions, detection latency —
+// and none of the per-run simulator internals, so a report assembled from
+// a resumed hash log is identical to one from an uninterrupted campaign.
+type Report struct {
+	Program        string           `json:"program"`
+	Runs           int              `json:"runs"`
+	Points         int              `json:"points"`
+	DetPoints      int              `json:"det_points"`
+	NDetPoints     int              `json:"ndet_points"`
+	Deterministic  bool             `json:"deterministic"`
+	DetAtEnd       bool             `json:"det_at_end"`
+	FirstNDetRun   int              `json:"first_ndet_run"`
+	ShapeMismatch  bool             `json:"shape_mismatch"`
+	OutputDistinct int              `json:"output_distinct"`
+	Stats          []CheckpointStat `json:"stats"`
+}
+
+// projectReport flattens a core report into the wire shape.
+func projectReport(rep *core.Report) *Report {
+	out := &Report{
+		Program:        rep.Program,
+		Runs:           len(rep.Runs),
+		Points:         rep.Points(),
+		DetPoints:      rep.DetPoints,
+		NDetPoints:     rep.NDetPoints,
+		Deterministic:  rep.Deterministic(),
+		DetAtEnd:       rep.DetAtEnd,
+		FirstNDetRun:   rep.FirstNDetRun,
+		ShapeMismatch:  rep.ShapeMismatch,
+		OutputDistinct: rep.OutputDistinct,
+	}
+	for _, s := range rep.Stats {
+		out.Stats = append(out.Stats, CheckpointStat{
+			Ordinal:       s.Ordinal,
+			Label:         s.Label,
+			Distribution:  append([]int(nil), s.Distribution...),
+			Deterministic: s.Deterministic,
+		})
+	}
+	return out
+}
+
+// HashLogLine is one (run, checkpoint, SH) record of a job's hash log —
+// the §6.3 replay log in its durable, comparable form.
+type HashLogLine struct {
+	Run     int          `json:"run"`
+	Ordinal int          `json:"ordinal"`
+	Label   string       `json:"label"`
+	SH      ihash.Digest `json:"sh"`
+}
+
+// WriteHashLog writes lines in the canonical text form
+//
+//	<run> <ordinal> <sh-hex> <quoted-label>
+//
+// which ParseHashLog reads back; the format is the interchange unit for
+// cross-host comparison.
+func WriteHashLog(w io.Writer, lines []HashLogLine) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(bw, "%d %d %016x %q\n", l.Run, l.Ordinal, uint64(l.SH), l.Label); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseHashLog reads the canonical text form back into lines.
+func ParseHashLog(r io.Reader) ([]HashLogLine, error) {
+	var out []HashLogLine
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for n := 1; sc.Scan(); n++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, " ", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("farm: hash log line %d: want 4 fields, got %d", n, len(parts))
+		}
+		run, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("farm: hash log line %d: run: %v", n, err)
+		}
+		ord, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("farm: hash log line %d: ordinal: %v", n, err)
+		}
+		sh, err := strconv.ParseUint(parts[2], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("farm: hash log line %d: hash: %v", n, err)
+		}
+		label, err := strconv.Unquote(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("farm: hash log line %d: label: %v", n, err)
+		}
+		out = append(out, HashLogLine{Run: run, Ordinal: ord, Label: label, SH: ihash.Digest(sh)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Divergence locates the first disagreeing checkpoint between two hash
+// logs — where a cross-host replay diverged.
+type Divergence struct {
+	Run     int    `json:"run"`
+	Ordinal int    `json:"ordinal"`
+	Label   string `json:"label"`
+	A       string `json:"a"`
+	B       string `json:"b"`
+}
+
+// CompareResult is the outcome of diffing two hash logs.
+type CompareResult struct {
+	// Equal is true when every run present in both logs has an identical
+	// hash vector and both logs cover the same runs.
+	Equal bool `json:"equal"`
+	// RunsA and RunsB count the complete runs in each log.
+	RunsA int `json:"runs_a"`
+	RunsB int `json:"runs_b"`
+	// RunsCompared counts runs present in both logs.
+	RunsCompared int `json:"runs_compared"`
+	// DifferingRuns lists the run indices whose vectors disagree.
+	DifferingRuns []int `json:"differing_runs,omitempty"`
+	// First is the earliest divergence (by run, then ordinal), nil when
+	// the compared runs all agree.
+	First *Divergence `json:"first,omitempty"`
+}
+
+// CompareHashLogs diffs two hash logs run by run. Two hosts checking the
+// same (app, input, seeds) must produce identical logs; the first
+// divergence pinpoints the checkpoint where their executions differ.
+func CompareHashLogs(a, b []HashLogLine) *CompareResult {
+	byRun := func(lines []HashLogLine) map[int][]HashLogLine {
+		m := make(map[int][]HashLogLine)
+		for _, l := range lines {
+			m[l.Run] = append(m[l.Run], l)
+		}
+		return m
+	}
+	ra, rb := byRun(a), byRun(b)
+	res := &CompareResult{Equal: true, RunsA: len(ra), RunsB: len(rb)}
+	if len(ra) != len(rb) {
+		res.Equal = false
+	}
+	maxRun := -1
+	for run := range ra {
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	for run := 0; run <= maxRun; run++ {
+		va, okA := ra[run]
+		vb, okB := rb[run]
+		if !okA || !okB {
+			continue
+		}
+		res.RunsCompared++
+		n := len(va)
+		if len(vb) < n {
+			n = len(vb)
+		}
+		runDiffers := len(va) != len(vb)
+		for i := 0; i < n; i++ {
+			if va[i].SH != vb[i].SH {
+				runDiffers = true
+				if res.First == nil {
+					res.First = &Divergence{
+						Run:     run,
+						Ordinal: va[i].Ordinal,
+						Label:   va[i].Label,
+						A:       va[i].SH.String(),
+						B:       vb[i].SH.String(),
+					}
+				}
+				break
+			}
+		}
+		if runDiffers {
+			res.Equal = false
+			res.DifferingRuns = append(res.DifferingRuns, run)
+		}
+	}
+	return res
+}

@@ -1,0 +1,480 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"instantcheck/internal/sim"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is the server's in-memory record of one campaign.
+type Job struct {
+	ID        JobID     `json:"id"`
+	Spec      JobSpec   `json:"spec"`
+	State     JobState  `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	RunsDone  int       `json:"runs_done"`
+	RunsTotal int       `json:"runs_total"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+
+	report   *Report
+	cancel   context.CancelFunc
+	canceled bool
+}
+
+// Options configures a server.
+type Options struct {
+	// RunWorkers is the run-level parallelism applied to jobs that do not
+	// set their own (<= 0 selects GOMAXPROCS).
+	RunWorkers int
+	// JobWorkers is the number of campaigns executed concurrently
+	// (<= 0 selects 1: strict FIFO, one campaign at a time).
+	JobWorkers int
+	// Logf, when non-nil, receives one line per job state change.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.RunWorkers <= 0 {
+		o.RunWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.JobWorkers <= 0 {
+		o.JobWorkers = 1
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Server is the checkfarm service: queue, worker pool and store glued to
+// an HTTP API. Create with NewServer, then Resume (optional) and Start.
+type Server struct {
+	store *Store
+	opts  Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[JobID]*Job
+	order   []JobID
+	pending []JobID // FIFO queue of job IDs awaiting a worker
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer wraps a store in a service.
+func NewServer(store *Store, opts Options) *Server {
+	s := &Server{store: store, opts: opts.withDefaults(), jobs: make(map[JobID]*Job)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Resume reloads jobs from the store: finished jobs reappear with their
+// reports assembled from the hash log, and jobs the previous daemon never
+// finished are re-queued — their committed runs will not be re-executed.
+// It returns the number of re-queued jobs and must be called before Start.
+func (s *Server) Resume() int {
+	requeued := 0
+	for _, jl := range s.store.Jobs() {
+		job := &Job{ID: jl.ID, Spec: jl.Spec, Submitted: time.Now()}
+		switch jl.Final {
+		case "done":
+			job.State = JobDone
+			rep, err := reportFromLog(jl)
+			if err != nil {
+				// The log says done but cannot be reassembled: surface it.
+				job.State = JobFailed
+				job.Error = err.Error()
+			} else {
+				job.report = rep
+				job.RunsDone = rep.Runs
+				job.RunsTotal = rep.Runs
+			}
+		case "failed":
+			job.State = JobFailed
+			job.Error = jl.Err
+		case "canceled":
+			job.State = JobCanceled
+		default:
+			job.State = JobQueued
+			job.RunsDone = len(jl.CompletedRuns())
+			requeued++
+		}
+		s.mu.Lock()
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		if job.State == JobQueued {
+			s.pending = append(s.pending, job.ID)
+		}
+		s.mu.Unlock()
+		if job.State == JobQueued {
+			s.opts.Logf("farm: resuming job %s (%s, %d runs committed)", job.ID, job.Spec.App, job.RunsDone)
+		}
+	}
+	return requeued
+}
+
+// Start launches the job workers. They drain the queue FIFO until ctx is
+// canceled; Wait blocks until they exit. Jobs interrupted by ctx keep
+// their partial hash logs and resume on the next daemon start.
+func (s *Server) Start(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}()
+	for i := 0; i < s.opts.JobWorkers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				job := s.nextJob()
+				if job == nil {
+					return
+				}
+				s.execute(ctx, job)
+			}
+		}()
+	}
+}
+
+// Wait blocks until all job workers have exited (after ctx cancellation).
+func (s *Server) Wait() { s.wg.Wait() }
+
+// nextJob blocks for the next queued job, nil at shutdown.
+func (s *Server) nextJob() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		if len(s.pending) > 0 {
+			id := s.pending[0]
+			s.pending = s.pending[1:]
+			job := s.jobs[id]
+			if job.State != JobQueued { // canceled while queued
+				continue
+			}
+			job.State = JobRunning
+			job.Started = time.Now()
+			return job
+		}
+		s.cond.Wait()
+	}
+}
+
+// execute runs one job to a terminal state (or to daemon shutdown).
+func (s *Server) execute(ctx context.Context, job *Job) {
+	jobCtx, cancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	job.cancel = cancel
+	spec := job.Spec
+	s.mu.Unlock()
+	defer cancel()
+	s.opts.Logf("farm: job %s running (%s)", job.ID, spec.App)
+
+	prior := s.store.Job(job.ID)
+	rep, _, err := runJob(jobCtx, spec, prior,
+		func(run int, res *sim.Result) error { return s.store.AppendRun(job.ID, run, res) },
+		func(done, total int) {
+			s.mu.Lock()
+			job.RunsDone, job.RunsTotal = done, total
+			s.mu.Unlock()
+		})
+
+	s.mu.Lock()
+	canceled := job.canceled
+	s.mu.Unlock()
+
+	state, msg := JobDone, ""
+	switch {
+	case err == nil:
+	case canceled:
+		state = JobCanceled
+	case ctx.Err() != nil:
+		// Daemon shutdown: no terminal record, so the job stays
+		// unfinished in the store and the next daemon resumes it from
+		// its committed runs.
+		s.mu.Lock()
+		job.State = JobQueued
+		committed := job.RunsDone
+		s.mu.Unlock()
+		s.opts.Logf("farm: job %s interrupted by shutdown (%d runs committed)", job.ID, committed)
+		return
+	default:
+		state, msg = JobFailed, err.Error()
+	}
+	if endErr := s.store.EndJob(job.ID, string(state), msg); endErr != nil && state == JobDone {
+		state, msg = JobFailed, "store: "+endErr.Error()
+	}
+	s.mu.Lock()
+	job.State = state
+	job.Error = msg
+	if state == JobDone {
+		job.report = rep
+	}
+	job.Finished = time.Now()
+	s.mu.Unlock()
+	s.opts.Logf("farm: job %s %s", job.ID, state)
+}
+
+// Submit validates and enqueues a campaign.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if _, _, err := spec.Resolve(); err != nil {
+		return nil, err
+	}
+	if spec.Parallelism == 0 {
+		spec.Parallelism = s.opts.RunWorkers
+	}
+	id := s.store.NextID()
+	if err := s.store.BeginJob(id, spec); err != nil {
+		return nil, err
+	}
+	job := &Job{ID: id, Spec: spec, State: JobQueued, Submitted: time.Now()}
+	s.mu.Lock()
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.pending = append(s.pending, id)
+	snapshot := *job
+	s.mu.Unlock()
+	s.cond.Signal()
+	s.opts.Logf("farm: job %s queued (%s)", id, spec.App)
+	return &snapshot, nil
+}
+
+// Job returns a snapshot of the job, or nil.
+func (s *Server) Job(id JobID) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job := s.jobs[id]
+	if job == nil {
+		return nil
+	}
+	snapshot := *job
+	return &snapshot
+}
+
+// Jobs returns snapshots of all jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		snapshot := *s.jobs[id]
+		out = append(out, &snapshot)
+	}
+	return out
+}
+
+// Report returns a finished job's report.
+func (s *Server) Report(id JobID) (*Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job := s.jobs[id]
+	if job == nil {
+		return nil, fmt.Errorf("farm: no job %s", id)
+	}
+	if job.State != JobDone || job.report == nil {
+		return nil, fmt.Errorf("farm: job %s is %s, report not available", id, job.State)
+	}
+	return job.report, nil
+}
+
+// Cancel cancels a queued or running job. It reports whether the job was
+// actually canceled (false when already terminal or unknown).
+func (s *Server) Cancel(id JobID) bool {
+	s.mu.Lock()
+	job := s.jobs[id]
+	if job == nil || job.State.Terminal() {
+		s.mu.Unlock()
+		return false
+	}
+	job.canceled = true
+	if job.State == JobQueued {
+		job.State = JobCanceled
+		job.Finished = time.Now()
+		s.mu.Unlock()
+		s.store.EndJob(id, "canceled", "")
+		s.opts.Logf("farm: job %s canceled while queued", id)
+		return true
+	}
+	cancel := job.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.opts.Logf("farm: job %s cancel requested", id)
+	return true
+}
+
+// ---- HTTP API ----
+
+// CompareRequest selects the two hash logs to diff: each side is either a
+// job on this daemon or an inline log in the canonical text form (the
+// hashlog endpoint's output, possibly from another host).
+type CompareRequest struct {
+	JobA JobID  `json:"job_a,omitempty"`
+	LogA string `json:"log_a,omitempty"`
+	JobB JobID  `json:"job_b,omitempty"`
+	LogB string `json:"log_b,omitempty"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /api/v1/jobs           submit a JobSpec, returns the Job
+//	GET    /api/v1/jobs           list jobs
+//	GET    /api/v1/jobs/{id}      job status
+//	DELETE /api/v1/jobs/{id}      cancel
+//	GET    /api/v1/jobs/{id}/report    finished job's report
+//	GET    /api/v1/jobs/{id}/hashlog   per-checkpoint hash stream (text)
+//	POST   /api/v1/compare        diff two hash logs (CompareRequest)
+//	GET    /healthz               liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+			return
+		}
+		job, err := s.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	})
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []*Job `json:"jobs"`
+		}{s.Jobs()})
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job := s.Job(JobID(r.PathValue("id")))
+		if job == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %s", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := JobID(r.PathValue("id"))
+		if s.Job(id) == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Canceled bool `json:"canceled"`
+		}{s.Cancel(id)})
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		id := JobID(r.PathValue("id"))
+		rep, err := s.Report(id)
+		if err != nil {
+			code := http.StatusNotFound
+			if s.Job(id) != nil {
+				code = http.StatusConflict // exists but not finished
+			}
+			httpError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/hashlog", func(w http.ResponseWriter, r *http.Request) {
+		id := JobID(r.PathValue("id"))
+		jl := s.store.Job(id)
+		if jl == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteHashLog(w, jl.HashLog())
+	})
+	mux.HandleFunc("POST /api/v1/compare", func(w http.ResponseWriter, r *http.Request) {
+		var req CompareRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad compare request: %w", err))
+			return
+		}
+		a, err := s.compareSide(req.JobA, req.LogA, "a")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		b, err := s.compareSide(req.JobB, req.LogB, "b")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, CompareHashLogs(a, b))
+	})
+	return mux
+}
+
+// compareSide materializes one side of a compare request.
+func (s *Server) compareSide(job JobID, log, side string) ([]HashLogLine, error) {
+	switch {
+	case job != "" && log != "":
+		return nil, fmt.Errorf("compare side %s: give job_%s or log_%s, not both", side, side, side)
+	case job != "":
+		jl := s.store.Job(job)
+		if jl == nil {
+			return nil, fmt.Errorf("compare side %s: no job %s", side, job)
+		}
+		return jl.HashLog(), nil
+	case log != "":
+		lines, err := ParseHashLog(strings.NewReader(log))
+		if err != nil {
+			return nil, fmt.Errorf("compare side %s: %w", side, err)
+		}
+		return lines, nil
+	default:
+		return nil, fmt.Errorf("compare side %s: empty", side)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

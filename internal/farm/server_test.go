@@ -1,0 +1,261 @@
+package farm
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startTestDaemon wires a store into a served daemon and returns a client
+// for it. The daemon is torn down with the test.
+func startTestDaemon(t *testing.T, storePath string, opts Options) (*Server, *Client) {
+	t.Helper()
+	store, err := OpenStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, opts)
+	srv.Resume()
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.Start(ctx)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		cancel()
+		srv.Wait()
+		store.Close()
+	})
+	return srv, NewClient(hs.URL)
+}
+
+func waitDone(t *testing.T, c *Client, id JobID) *Job {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	job, err := c.Wait(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	return job
+}
+
+// TestServerEndToEnd drives the whole service through its HTTP API:
+// submit, status, report, hash-log streaming, cross-host compare, cancel.
+func TestServerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	_, c := startTestDaemon(t, filepath.Join(dir, "farm.log"), Options{RunWorkers: 4})
+
+	spec := smokeSpec("fft", "mix64")
+	job, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.State != JobQueued {
+		t.Fatalf("submitted job = %+v", job)
+	}
+	job = waitDone(t, c, job.ID)
+	if job.State != JobDone || job.Error != "" {
+		t.Fatalf("job finished as %s: %s", job.State, job.Error)
+	}
+	if job.RunsDone != spec.Runs || job.RunsTotal != spec.Runs {
+		t.Errorf("progress = %d/%d, want %d/%d", job.RunsDone, job.RunsTotal, spec.Runs, spec.Runs)
+	}
+
+	// The served report matches a direct in-process execution.
+	rep, err := c.Report(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := runJob(context.Background(), spec, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, want) {
+		t.Errorf("served report differs from direct execution:\nhttp   %+v\ndirect %+v", rep, want)
+	}
+	if !rep.Deterministic || rep.Program != "fft" || rep.Runs != spec.Runs {
+		t.Errorf("fft report = %+v", rep)
+	}
+
+	// The hash-log stream parses and covers every (run, checkpoint).
+	logText, err := c.HashLog(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := ParseHashLog(strings.NewReader(logText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != spec.Runs*rep.Points {
+		t.Errorf("hash log has %d lines, want %d runs x %d checkpoints", len(lines), spec.Runs, rep.Points)
+	}
+
+	// Cross-host compare: the fetched text log against the job it came
+	// from (the two-host flow with both ends on one daemon).
+	cmp, err := c.Compare(CompareRequest{LogA: logText, JobB: job.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Equal || cmp.RunsCompared != spec.Runs {
+		t.Errorf("self compare = %+v", cmp)
+	}
+
+	// A different workload's log diverges.
+	spec2 := smokeSpec("barnes", "mix64")
+	job2, err := c.Submit(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c, job2.ID)
+	cmp, err = c.Compare(CompareRequest{JobA: job.ID, JobB: job2.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Equal || cmp.First == nil {
+		t.Errorf("fft-vs-barnes compare = %+v", cmp)
+	}
+
+	// Error surface: unknown job is 404, bad spec is rejected.
+	if _, err := c.Report("j999999"); err == nil {
+		t.Error("report for unknown job succeeded")
+	}
+	if _, err := c.Submit(JobSpec{App: "no-such-app"}); err == nil {
+		t.Error("bad spec accepted")
+	}
+
+	// All three jobs... two jobs are listed, in submission order.
+	jobs, err := c.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != job.ID || jobs[1].ID != job2.ID {
+		t.Errorf("job list = %+v", jobs)
+	}
+}
+
+// TestServerCancel checks cancellation of a queued job (the daemon has one
+// job worker, so a second submission waits in the queue).
+func TestServerCancel(t *testing.T) {
+	dir := t.TempDir()
+	_, c := startTestDaemon(t, filepath.Join(dir, "farm.log"), Options{RunWorkers: 2, JobWorkers: 1})
+
+	first, err := c.Submit(smokeSpec("radix", "mix64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.Submit(smokeSpec("lu", "mix64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := waitDone(t, c, queued.ID)
+	if ok && job.State != JobCanceled {
+		t.Errorf("canceled job reached state %s", job.State)
+	}
+	if job := waitDone(t, c, first.ID); job.State != JobDone {
+		t.Errorf("first job = %s: %s", job.State, job.Error)
+	}
+	// Terminal jobs cannot be canceled again.
+	if ok, _ := c.Cancel(first.ID); ok {
+		t.Error("cancel of finished job reported true")
+	}
+}
+
+// TestServerKilledAndRestarted is the acceptance scenario: a daemon dies
+// mid-campaign (simulated by truncating its store to a committed prefix
+// plus a torn line), a fresh daemon opens the same store, and the resumed
+// campaign converges to the exact report of an uninterrupted one.
+func TestServerKilledAndRestarted(t *testing.T) {
+	dir := t.TempDir()
+	spec := smokeSpec("radix", "crc64")
+
+	// Uninterrupted daemon: the reference report.
+	fullPath := filepath.Join(dir, "full.log")
+	_, c1 := startTestDaemon(t, fullPath, Options{RunWorkers: 4})
+	job, err := c1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, c1, job.ID).State; st != JobDone {
+		t.Fatalf("reference job state %s", st)
+	}
+	want, err := c1.Report(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Kill" the daemon mid-campaign: a copy of its store truncated after
+	// the 3rd run commit, ending in a torn line.
+	raw, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefix strings.Builder
+	committed := map[string]bool{}
+	for _, l := range strings.SplitAfter(string(raw), "\n") {
+		if strings.HasPrefix(l, "jobend ") {
+			continue // the crash happened before the job finished
+		}
+		prefix.WriteString(l)
+		if strings.HasPrefix(l, "runend ") {
+			committed[strings.Fields(l)[2]] = true
+			if len(committed) == 3 {
+				break
+			}
+		}
+	}
+	// The torn attempt must be of a run the prefix did not commit (runs
+	// commit in nondeterministic order under the parallel worker pool).
+	tornRun := ""
+	for run := 0; run < spec.Runs; run++ {
+		if r := strconv.Itoa(run); !committed[r] {
+			tornRun = r
+			break
+		}
+	}
+	prefix.WriteString("runstart " + string(job.ID) + " " + tornRun + "\ncp " + string(job.ID) + " " + tornRun + " 0 12")
+	crashPath := filepath.Join(dir, "crashed.log")
+	if err := os.WriteFile(crashPath, []byte(prefix.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restarted daemon on the surviving store.
+	srv2, c2 := startTestDaemon(t, crashPath, Options{RunWorkers: 4})
+	if jl := srv2.store.Job(job.ID); len(jl.CompletedRuns()) != 3 {
+		t.Fatalf("crashed store has %v committed", jl.CompletedRuns())
+	}
+	resumed := waitDone(t, c2, job.ID)
+	if resumed.State != JobDone || resumed.Error != "" {
+		t.Fatalf("resumed job %s: %s", resumed.State, resumed.Error)
+	}
+	got, err := c2.Report(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("resumed daemon's report differs:\nfull    %+v\nresumed %+v", want, got)
+	}
+
+	// And a third start over the now-complete log serves the same report
+	// without executing anything.
+	srv3, c3 := startTestDaemon(t, crashPath, Options{RunWorkers: 4})
+	if n := srv3.Job(job.ID); n == nil || n.State != JobDone {
+		t.Fatalf("job not done after clean restart: %+v", n)
+	}
+	again, err := c3.Report(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, again) {
+		t.Errorf("report reassembled from log differs from live report")
+	}
+}

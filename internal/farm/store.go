@@ -1,0 +1,434 @@
+package farm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"instantcheck/internal/ihash"
+	"instantcheck/internal/sim"
+)
+
+// The store is an append-only, crash-tolerant record of every State Hash
+// the farm computes. One text line per record:
+//
+//	checkfarm-log v1                       header
+//	job <id> <spec-json>                   job submitted
+//	runstart <id> <run>                    run attempt begins
+//	cp <id> <run> <ordinal> <sh> <label>   one checkpoint hash
+//	out <id> <run> <fd> <hash> <bytes>     one output-stream hash (§4.3)
+//	runend <id> <run> <checkpoints>        run committed
+//	jobend <id> <status> <quoted-error>    job reached a terminal state
+//
+// A run counts only when its runend commit marker is present and its
+// checkpoint count matches; anything after the last commit marker — a
+// truncated trailing line, a half-written run from a crashed daemon — is
+// ignored on load and simply re-executed. Because every run of a campaign
+// is reproducible from (seed, replay logs) alone, re-execution yields the
+// same hashes the lost lines would have contained, so a resumed campaign
+// converges to the identical report.
+
+const storeHeader = "checkfarm-log v1"
+
+// RunLog is one committed run's records.
+type RunLog struct {
+	// Checkpoints holds the run's hash vector in checkpoint order.
+	Checkpoints []HashLogLine
+	// Outputs holds the run's per-descriptor output-stream hashes.
+	Outputs []OutRecord
+	// Done is true once the commit marker was seen.
+	Done bool
+}
+
+// OutRecord is one output stream's hash (fd, FNV hash, byte count).
+type OutRecord struct {
+	FD    int
+	Hash  uint64
+	Bytes uint64
+}
+
+// JobLog is the store's view of one job.
+type JobLog struct {
+	// ID is the job's identifier.
+	ID JobID
+	// Spec is the submitted campaign description.
+	Spec JobSpec
+	// Final is "" while the job is unfinished, else "done", "failed" or
+	// "canceled".
+	Final string
+	// Err carries the failure message for failed jobs.
+	Err string
+
+	runs map[int]*RunLog
+}
+
+// Run returns the committed log of the given run, or nil.
+func (jl *JobLog) Run(run int) *RunLog {
+	rl := jl.runs[run]
+	if rl == nil || !rl.Done {
+		return nil
+	}
+	return rl
+}
+
+// CompletedRuns lists the committed run indices in increasing order.
+func (jl *JobLog) CompletedRuns() []int {
+	var out []int
+	for run, rl := range jl.runs {
+		if rl.Done {
+			out = append(out, run)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HashLog flattens the job's committed runs into hash-log lines, ordered
+// by run then checkpoint — the stream the hashlog endpoint serves.
+func (jl *JobLog) HashLog() []HashLogLine {
+	var out []HashLogLine
+	for _, run := range jl.CompletedRuns() {
+		out = append(out, jl.runs[run].Checkpoints...)
+	}
+	return out
+}
+
+// Result reconstructs a committed run as a checker run result. Only the
+// hash-level fields are populated — exactly what report assembly compares.
+func (rl *RunLog) Result() *sim.Result {
+	res := &sim.Result{}
+	for _, cp := range rl.Checkpoints {
+		res.Checkpoints = append(res.Checkpoints, sim.Checkpoint{
+			Ordinal: cp.Ordinal,
+			Label:   cp.Label,
+			SH:      cp.SH,
+		})
+	}
+	if len(rl.Outputs) > 0 {
+		res.Outputs = make(map[int]sim.OutputStream, len(rl.Outputs))
+		for _, o := range rl.Outputs {
+			res.Outputs[o.FD] = sim.OutputStream{Hash: o.Hash, Bytes: o.Bytes}
+			res.OutputBytes += o.Bytes
+		}
+	}
+	res.OutputHash = res.Outputs[sim.Stdout].Hash
+	return res
+}
+
+// Store is the append-only hash-log store plus its in-memory index. All
+// methods are safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	w     *bufio.Writer
+	jobs  map[JobID]*JobLog
+	order []JobID
+	maxID int
+}
+
+// OpenStore opens (creating if needed) the store at path and rebuilds the
+// index by scanning the log. Unparseable trailing data — the signature of
+// a crash mid-append — is tolerated and skipped.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("farm: open store: %w", err)
+	}
+	s := &Store{path: path, f: f, jobs: make(map[JobID]*JobLog)}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	end, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("farm: seek store: %w", err)
+	}
+	s.w = bufio.NewWriter(f)
+	if end == 0 {
+		if err := s.appendLine(storeHeader); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if err := s.terminateTornLine(end); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// terminateTornLine makes sure the log ends with a newline before new
+// records are appended. A crash can leave a half-written final line; the
+// loader already skips it, but without the terminator the next append
+// would fuse onto the torn line and be lost too.
+func (s *Store) terminateTornLine(end int64) error {
+	buf := make([]byte, 1)
+	if _, err := s.f.ReadAt(buf, end-1); err != nil {
+		return fmt.Errorf("farm: read store tail: %w", err)
+	}
+	if buf[0] == '\n' {
+		return nil
+	}
+	if _, err := s.w.WriteString("\n"); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// Path returns the on-disk location of the log.
+func (s *Store) Path() string { return s.path }
+
+// Close flushes and closes the log file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Close()
+}
+
+// load scans the log and rebuilds the index.
+func (s *Store) load() error {
+	sc := bufio.NewScanner(s.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		s.indexLine(strings.TrimRight(sc.Text(), "\r"))
+	}
+	return sc.Err()
+}
+
+// indexLine folds one log line into the index. Malformed lines are
+// skipped: the only way they arise is a crash mid-write, and their data is
+// recomputed on resume.
+func (s *Store) indexLine(line string) {
+	if line == "" || line == storeHeader {
+		return
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 3 {
+		return
+	}
+	kind, id, rest := parts[0], JobID(parts[1]), parts[2]
+	if kind == "job" {
+		var spec JobSpec
+		if err := json.Unmarshal([]byte(rest), &spec); err != nil {
+			return
+		}
+		if _, ok := s.jobs[id]; !ok {
+			s.jobs[id] = &JobLog{ID: id, Spec: spec, runs: make(map[int]*RunLog)}
+			s.order = append(s.order, id)
+			if n, err := strconv.Atoi(strings.TrimPrefix(string(id), "j")); err == nil && n > s.maxID {
+				s.maxID = n
+			}
+		}
+		return
+	}
+	jl := s.jobs[id]
+	if jl == nil {
+		return
+	}
+	switch kind {
+	case "runstart":
+		run, err := strconv.Atoi(rest)
+		if err != nil {
+			return
+		}
+		// A fresh attempt discards any half-written earlier attempt.
+		jl.runs[run] = &RunLog{}
+	case "cp":
+		f := strings.SplitN(rest, " ", 4)
+		if len(f) != 4 {
+			return
+		}
+		run, err1 := strconv.Atoi(f[0])
+		ord, err2 := strconv.Atoi(f[1])
+		sh, err3 := strconv.ParseUint(f[2], 16, 64)
+		label, err4 := strconv.Unquote(f[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return
+		}
+		rl := jl.runs[run]
+		if rl == nil || rl.Done {
+			return
+		}
+		rl.Checkpoints = append(rl.Checkpoints, HashLogLine{Run: run, Ordinal: ord, Label: label, SH: ihash.Digest(sh)})
+	case "out":
+		f := strings.Fields(rest)
+		if len(f) != 4 {
+			return
+		}
+		run, err1 := strconv.Atoi(f[0])
+		fd, err2 := strconv.Atoi(f[1])
+		hash, err3 := strconv.ParseUint(f[2], 16, 64)
+		bytes, err4 := strconv.ParseUint(f[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return
+		}
+		rl := jl.runs[run]
+		if rl == nil || rl.Done {
+			return
+		}
+		rl.Outputs = append(rl.Outputs, OutRecord{FD: fd, Hash: hash, Bytes: bytes})
+	case "runend":
+		f := strings.Fields(rest)
+		if len(f) != 2 {
+			return
+		}
+		run, err1 := strconv.Atoi(f[0])
+		ncp, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil {
+			return
+		}
+		rl := jl.runs[run]
+		if rl == nil || len(rl.Checkpoints) != ncp {
+			return // commit marker without matching data: drop the run
+		}
+		rl.Done = true
+	case "jobend":
+		f := strings.SplitN(rest, " ", 2)
+		jl.Final = f[0]
+		if len(f) == 2 {
+			if msg, err := strconv.Unquote(f[1]); err == nil {
+				jl.Err = msg
+			}
+		}
+	}
+}
+
+// appendLine writes one line and syncs it to disk. Every record is
+// durable before the call returns: a crash never loses a committed run.
+func (s *Store) appendLine(line string) error {
+	if _, err := s.w.WriteString(line + "\n"); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// NextID allocates the next job identifier.
+func (s *Store) NextID() JobID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxID++
+	return JobID(fmt.Sprintf("j%06d", s.maxID))
+}
+
+// BeginJob records a submitted job.
+func (s *Store) BeginJob(id JobID, spec JobSpec) error {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; ok {
+		return fmt.Errorf("farm: job %s already in store", id)
+	}
+	if err := s.appendLine(fmt.Sprintf("job %s %s", id, specJSON)); err != nil {
+		return err
+	}
+	s.jobs[id] = &JobLog{ID: id, Spec: spec, runs: make(map[int]*RunLog)}
+	s.order = append(s.order, id)
+	return nil
+}
+
+// AppendRun commits one run's hashes: the checkpoint lines, the output
+// lines and the commit marker are appended and synced as a unit.
+func (s *Store) AppendRun(id JobID, run int, res *sim.Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jl := s.jobs[id]
+	if jl == nil {
+		return fmt.Errorf("farm: job %s not in store", id)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "runstart %s %d\n", id, run)
+	rl := &RunLog{}
+	for _, cp := range res.Checkpoints {
+		fmt.Fprintf(&sb, "cp %s %d %d %016x %q\n", id, run, cp.Ordinal, uint64(cp.SH), cp.Label)
+		rl.Checkpoints = append(rl.Checkpoints, HashLogLine{Run: run, Ordinal: cp.Ordinal, Label: cp.Label, SH: cp.SH})
+	}
+	fds := make([]int, 0, len(res.Outputs))
+	for fd := range res.Outputs {
+		fds = append(fds, fd)
+	}
+	sort.Ints(fds)
+	for _, fd := range fds {
+		o := res.Outputs[fd]
+		fmt.Fprintf(&sb, "out %s %d %d %016x %d\n", id, run, fd, o.Hash, o.Bytes)
+		rl.Outputs = append(rl.Outputs, OutRecord{FD: fd, Hash: o.Hash, Bytes: o.Bytes})
+	}
+	fmt.Fprintf(&sb, "runend %s %d %d", id, run, len(res.Checkpoints))
+	if err := s.appendLine(sb.String()); err != nil {
+		return err
+	}
+	rl.Done = true
+	jl.runs[run] = rl
+	return nil
+}
+
+// EndJob records a job's terminal status.
+func (s *Store) EndJob(id JobID, status, errMsg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jl := s.jobs[id]
+	if jl == nil {
+		return fmt.Errorf("farm: job %s not in store", id)
+	}
+	line := fmt.Sprintf("jobend %s %s", id, status)
+	if errMsg != "" {
+		line += " " + strconv.Quote(errMsg)
+	}
+	if err := s.appendLine(line); err != nil {
+		return err
+	}
+	jl.Final = status
+	jl.Err = errMsg
+	return nil
+}
+
+// Job returns a snapshot of the stored job, or nil. The snapshot shares no
+// mutable state with the index, so callers may read it while the daemon
+// keeps appending.
+func (s *Store) Job(id JobID) *JobLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jl := s.jobs[id]
+	if jl == nil {
+		return nil
+	}
+	return jl.clone()
+}
+
+// Jobs returns snapshots of all stored jobs in submission order.
+func (s *Store) Jobs() []*JobLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*JobLog, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].clone())
+	}
+	return out
+}
+
+func (jl *JobLog) clone() *JobLog {
+	c := &JobLog{ID: jl.ID, Spec: jl.Spec, Final: jl.Final, Err: jl.Err, runs: make(map[int]*RunLog, len(jl.runs))}
+	for run, rl := range jl.runs {
+		rc := &RunLog{
+			Checkpoints: append([]HashLogLine(nil), rl.Checkpoints...),
+			Outputs:     append([]OutRecord(nil), rl.Outputs...),
+			Done:        rl.Done,
+		}
+		c.runs[run] = rc
+	}
+	return c
+}

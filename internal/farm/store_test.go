@@ -1,0 +1,202 @@
+package farm
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"instantcheck/internal/ihash"
+	"instantcheck/internal/sim"
+)
+
+func testResult(base uint64, ncp int) *sim.Result {
+	res := &sim.Result{Outputs: map[int]sim.OutputStream{1: {Hash: base ^ 0xabc, Bytes: 64}}, OutputBytes: 64}
+	for i := 0; i < ncp; i++ {
+		label := "b"
+		if i == ncp-1 {
+			label = "end"
+		}
+		res.Checkpoints = append(res.Checkpoints, sim.Checkpoint{
+			Ordinal: i, Label: label, SH: ihash.Digest(base + uint64(i)),
+		})
+	}
+	return res
+}
+
+// TestStoreRoundTrip checks that appended jobs and runs come back intact
+// from a fresh Open of the same file.
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "farm.log")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{App: "radix", Runs: 3, Threads: 4, Small: true}
+	id := s.NextID()
+	if id != "j000001" {
+		t.Errorf("first id = %s", id)
+	}
+	if err := s.BeginJob(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		if err := s.AppendRun(id, run, testResult(uint64(1000*run), 2+run)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.EndJob(id, "done", ""); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Job(id)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	after := s2.Job(id)
+	if after == nil {
+		t.Fatal("job lost on reload")
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("reload mismatch:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if after.Final != "done" || !reflect.DeepEqual(after.Spec, spec) {
+		t.Errorf("final=%q spec=%+v", after.Final, after.Spec)
+	}
+	if got := after.CompletedRuns(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("completed runs %v", got)
+	}
+	if rl := after.Run(1); len(rl.Checkpoints) != 3 || rl.Checkpoints[0].SH != 1000 {
+		t.Errorf("run 1 = %+v", rl)
+	}
+	// IDs continue after the stored maximum.
+	if next := s2.NextID(); next != "j000002" {
+		t.Errorf("next id after reload = %s", next)
+	}
+	// Reconstructed results carry the hash-level fields.
+	res := after.Run(0).Result()
+	if res.Outputs[1].Hash != 0xabc || res.OutputBytes != 64 {
+		t.Errorf("output reconstruction: %+v", res.Outputs)
+	}
+}
+
+// TestStoreCrashTolerance checks the two crash shapes: a truncated
+// trailing line, and a run that started but never committed. Both are
+// dropped on load; committed runs before them survive.
+func TestStoreCrashTolerance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "farm.log")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.NextID()
+	if err := s.BeginJob(id, JobSpec{App: "fft"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRun(id, 0, testResult(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash artifacts: an uncommitted run attempt and a torn write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("runstart " + string(id) + " 1\n")
+	f.WriteString("cp " + string(id) + " 1 0 00000000000000ff \"b\"\n")
+	f.WriteString("cp " + string(id) + " 1 1 00000000000")
+	f.Close()
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl := s2.Job(id)
+	if got := jl.CompletedRuns(); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("completed runs after crash = %v", got)
+	}
+	if jl.Final != "" {
+		t.Errorf("final = %q, want unfinished", jl.Final)
+	}
+	// The next attempt of run 1 commits cleanly over the partial one.
+	if err := s2.AppendRun(id, 1, testResult(20, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	jl = s3.Job(id)
+	if got := jl.CompletedRuns(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("completed runs after recommit = %v", got)
+	}
+	if rl := jl.Run(1); rl.Checkpoints[0].SH != 20 {
+		t.Errorf("stale partial survived: %+v", rl.Checkpoints)
+	}
+}
+
+// TestHashLogRoundTrip checks the interchange format: write, parse,
+// compare — including labels with spaces and quotes.
+func TestHashLogRoundTrip(t *testing.T) {
+	lines := []HashLogLine{
+		{Run: 0, Ordinal: 0, Label: `odd "label" with spaces`, SH: 0xdeadbeef},
+		{Run: 0, Ordinal: 1, Label: "end", SH: 1},
+		{Run: 1, Ordinal: 0, Label: "b", SH: 0xdeadbeef},
+	}
+	var sb strings.Builder
+	if err := WriteHashLog(&sb, lines); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHashLog(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, lines) {
+		t.Errorf("roundtrip:\nin  %+v\nout %+v", lines, got)
+	}
+	if _, err := ParseHashLog(strings.NewReader("not a hash log\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// TestCompareHashLogs checks equality, first-divergence location and the
+// run bookkeeping of the §6.3 cross-host diff.
+func TestCompareHashLogs(t *testing.T) {
+	a := []HashLogLine{
+		{Run: 0, Ordinal: 0, Label: "b", SH: 1}, {Run: 0, Ordinal: 1, Label: "end", SH: 2},
+		{Run: 1, Ordinal: 0, Label: "b", SH: 1}, {Run: 1, Ordinal: 1, Label: "end", SH: 2},
+	}
+	if res := CompareHashLogs(a, a); !res.Equal || res.RunsCompared != 2 || res.First != nil {
+		t.Errorf("self-compare: %+v", res)
+	}
+	b := append([]HashLogLine(nil), a...)
+	b[3] = HashLogLine{Run: 1, Ordinal: 1, Label: "end", SH: 99}
+	res := CompareHashLogs(a, b)
+	if res.Equal || res.First == nil {
+		t.Fatalf("divergence missed: %+v", res)
+	}
+	if res.First.Run != 1 || res.First.Ordinal != 1 || res.First.A != "0000000000000002" || res.First.B != "0000000000000063" {
+		t.Errorf("first divergence = %+v", res.First)
+	}
+	if !reflect.DeepEqual(res.DifferingRuns, []int{1}) {
+		t.Errorf("differing runs = %v", res.DifferingRuns)
+	}
+	// A log missing a run is unequal but still compares the common runs.
+	res = CompareHashLogs(a, a[:2])
+	if res.Equal || res.RunsCompared != 1 || res.First != nil {
+		t.Errorf("missing-run compare: %+v", res)
+	}
+}

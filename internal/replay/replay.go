@@ -57,6 +57,19 @@ func (l *AddrLog) Record(site string, seq int, addr uint64) {
 // Len returns the number of logged allocations.
 func (l *AddrLog) Len() int { return len(l.addrs) }
 
+// Clone returns an independent copy of the log. A campaign's replay runs
+// can execute concurrently when each holds its own clone: the clones start
+// from the same recorded addresses, and any growth (a run that reaches an
+// allocation the recording run never performed) stays private to that run,
+// so no run can observe another's scheduling.
+func (l *AddrLog) Clone() *AddrLog {
+	c := &AddrLog{addrs: make(map[addrKey]uint64, len(l.addrs))}
+	for k, v := range l.addrs {
+		c.addrs[k] = v
+	}
+	return c
+}
+
 // Env records and replays the results of nondeterministic library calls.
 // Each call stream is keyed by (thread id, call name); within a stream,
 // the i-th call returns the i-th recorded value. On the recording run the
@@ -110,6 +123,26 @@ func (e *Env) Next(tid int, name string) uint64 {
 	v := e.src.Uint64()
 	e.streams[k] = append(s, v)
 	return v
+}
+
+// Fork returns an independent replay view of the environment: the streams
+// recorded so far are copied, the cursors start at zero, and any draw past
+// the end of a recorded stream (a thread that takes a path the recording
+// run never took) comes from a fresh generator seeded with seed. Forks let
+// a campaign's replay runs execute concurrently — every fork replays the
+// same recorded input, and fresh draws are a function of the fork's own
+// seed rather than of how the sibling runs interleave.
+func (e *Env) Fork(seed int64) *Env {
+	f := &Env{
+		src:     rand.New(rand.NewSource(seed)),
+		streams: make(map[envKey][]uint64, len(e.streams)),
+		cursor:  make(map[envKey]int, len(e.streams)),
+	}
+	for k, s := range e.streams {
+		f.streams[k] = append([]uint64(nil), s...)
+		f.cursor[k] = 0
+	}
+	return f
 }
 
 // Rand returns the next replayed rand() result for thread tid.

@@ -91,6 +91,60 @@ func TestEnvExtendsStreams(t *testing.T) {
 	}
 }
 
+// TestAddrLogClone checks clones replay the recorded addresses but keep
+// growth private — the isolation property parallel replay runs rely on.
+func TestAddrLogClone(t *testing.T) {
+	l := NewAddrLog()
+	l.Record("s", 0, 0x1000)
+	c := l.Clone()
+	if a, ok := c.Lookup("s", 0); !ok || a != 0x1000 {
+		t.Fatalf("clone lookup = %#x, %v", a, ok)
+	}
+	c.Record("s", 1, 0x2000)
+	if _, ok := l.Lookup("s", 1); ok {
+		t.Error("clone growth leaked into the original")
+	}
+	l.Record("s", 2, 0x3000)
+	if _, ok := c.Lookup("s", 2); ok {
+		t.Error("original growth leaked into the clone")
+	}
+}
+
+// TestEnvFork checks a fork replays the recorded streams from the start,
+// and that draws past the recorded streams are private to the fork (they
+// come from the fork's seed, not from the shared recording source).
+func TestEnvFork(t *testing.T) {
+	e := NewEnv(42)
+	e.BeginRun()
+	rec := []uint64{e.Rand(0), e.Rand(0)}
+
+	f := e.Fork(7)
+	f.BeginRun()
+	if got := []uint64{f.Rand(0), f.Rand(0)}; got[0] != rec[0] || got[1] != rec[1] {
+		t.Errorf("fork replay %v != recorded %v", got, rec)
+	}
+	extra := f.Rand(0) // beyond the recorded stream: fork-private growth
+	if _, ok := e.streams[envKey{0, "rand"}]; !ok {
+		t.Fatal("recorded stream vanished")
+	}
+	if n := len(e.streams[envKey{0, "rand"}]); n != 2 {
+		t.Errorf("fork growth leaked into the parent (len %d)", n)
+	}
+	// Two forks with the same seed grow identically; different seeds do not.
+	g := e.Fork(7)
+	g.BeginRun()
+	_, _ = g.Rand(0), g.Rand(0)
+	if g.Rand(0) != extra {
+		t.Error("same-seed forks diverged on fresh draws")
+	}
+	h := e.Fork(8)
+	h.BeginRun()
+	_, _ = h.Rand(0), h.Rand(0)
+	if h.Rand(0) == extra {
+		t.Error("different-seed forks agreed on fresh draws")
+	}
+}
+
 // TestEnvInputSeedIsInput checks different input seeds give different
 // streams (they are different test inputs), while the same seed gives the
 // same stream.
