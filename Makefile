@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race race-farm bench build table1 table2 figures everything cover fmt vet lint
+.PHONY: all test race race-farm bench bench-json bench-smoke build table1 table2 figures everything cover fmt vet lint
 
 all: test lint
 
@@ -26,6 +26,23 @@ race-farm:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One-iteration pass over every benchmark: proves the benchmark code still
+# compiles and runs. This is the CI smoke step — it measures nothing.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The tier-1 perf suite, recorded into the repo's benchmark trajectory.
+# BENCH_REGEX picks the benchmarks that gate performance work; BENCHTIME
+# trades runtime for stability. Results land in the "after" section of
+# $(BENCH_OUT); a pre-change binary's numbers can be recorded with
+#   <old-binary> -test.bench=... | go run ./cmd/benchjson -out $(BENCH_OUT) -section baseline
+BENCH_OUT   ?= BENCH_3.json
+BENCHTIME   ?= 20x
+BENCH_REGEX ?= SchemeAblation|CheckApp|FarmThroughput|MemStoreLoad|AllocFree|TraverseHash|ZeroSumCache|WriteBatch|HashWord|AccumulatorWrite
+bench-json:
+	$(GO) test -run=NONE -bench='$(BENCH_REGEX)' -benchmem -benchtime=$(BENCHTIME) . ./internal/mem ./internal/sim ./internal/ihash \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section after -note "make bench-json, benchtime=$(BENCHTIME)"
 
 table1:
 	$(GO) run ./cmd/instantcheck table1

@@ -1,0 +1,178 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a JSON section of a benchmark-trajectory file, so performance numbers
+// can be committed alongside the code that produced them and compared across
+// PRs.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem ./... | benchjson -out BENCH_3.json -section after
+//
+// The output file holds one object per section ("baseline", "after", ...);
+// writing a section replaces it and preserves the others, so a pre-change
+// binary's numbers and the current tree's numbers can live side by side.
+// Repeated runs of the same benchmark are averaged, which is how interleaved
+// A/B measurements (several alternating rounds of two binaries) are meant to
+// be fed in on noisy machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's averaged measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Runs        int     `json:"runs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Section is one labeled set of measurements plus the environment header
+// lines the test binary printed.
+type Section struct {
+	Note       string   `json:"note,omitempty"`
+	Env        []string `json:"env,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH.json", "trajectory file to create or update")
+	section := flag.String("section", "after", "section name to (re)write")
+	note := flag.String("note", "", "free-form provenance note stored in the section")
+	flag.Parse()
+
+	sec := Section{Note: *note}
+	type acc struct {
+		runs               int
+		iters              int64
+		ns, bytes, allocs  float64
+		hasBytes, hasAlloc bool
+	}
+	sums := map[string]*acc{}
+	pkgs := map[string]string{}
+	var order []string
+	envSeen := map[string]bool{}
+	curPkg := ""
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			curPkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "goos: "), strings.HasPrefix(line, "goarch: "), strings.HasPrefix(line, "cpu: "):
+			if !envSeen[line] {
+				envSeen[line] = true
+				sec.Env = append(sec.Env, line)
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		a := sums[name]
+		if a == nil {
+			a = &acc{}
+			sums[name] = a
+			pkgs[name] = curPkg
+			order = append(order, name)
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		a.runs++
+		a.iters += iters
+		a.ns += ns
+		if m[4] != "" {
+			v, _ := strconv.ParseFloat(m[4], 64)
+			a.bytes += v
+			a.hasBytes = true
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseFloat(m[5], 64)
+			a.allocs += v
+			a.hasAlloc = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(order) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	for _, name := range order {
+		a := sums[name]
+		n := float64(a.runs)
+		r := Result{
+			Name: name, Pkg: pkgs[name],
+			Runs: a.runs, Iterations: a.iters,
+			NsPerOp: round2(a.ns / n),
+		}
+		if a.hasBytes {
+			r.BytesPerOp = round2(a.bytes / n)
+		}
+		if a.hasAlloc {
+			r.AllocsPerOp = round2(a.allocs / n)
+		}
+		sec.Benchmarks = append(sec.Benchmarks, r)
+	}
+
+	file := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fatal(fmt.Errorf("%s exists but is not a JSON object: %w", *out, err))
+		}
+	}
+	raw, err := json.MarshalIndent(sec, "  ", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	file[*section] = raw
+
+	keys := make([]string, 0, len(file))
+	for k := range file {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, k := range keys {
+		kb, _ := json.Marshal(k)
+		fmt.Fprintf(&b, "  %s: %s", kb, file[k])
+		if i < len(keys)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote section %q (%d benchmarks) to %s\n", *section, len(sec.Benchmarks), *out)
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -295,8 +295,8 @@ func TestDiffCapture(t *testing.T) {
 	if d.A == nil || d.B == nil {
 		t.Fatal("missing snapshots")
 	}
-	va := d.A.Words[mem.StaticBase]
-	vb := d.B.Words[mem.StaticBase]
+	va, _ := d.A.Word(mem.StaticBase)
+	vb, _ := d.B.Word(mem.StaticBase)
 	if va == vb {
 		t.Error("snapshots agree at the racy word; capture mis-aimed")
 	}

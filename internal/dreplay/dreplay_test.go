@@ -80,9 +80,9 @@ func TestSearchFindsFullStateReplay(t *testing.T) {
 	// replay (inspect ALL variables as they were).
 	orig := finalSnapshot(t, origSeed, log)
 	found := finalSnapshot(t, res.Seed, log)
-	for addr, v := range orig.Words {
-		if found.Words[addr] != v {
-			t.Fatalf("replayed state differs at %#x: %d vs %d", addr, v, found.Words[addr])
+	for i, addr := range orig.Addrs {
+		if got, _ := found.Word(addr); got != orig.Vals[i] {
+			t.Fatalf("replayed state differs at %#x: %d vs %d", addr, orig.Vals[i], got)
 		}
 	}
 }

@@ -53,6 +53,13 @@ type Policy struct {
 	// param is M (mantissa bits) for ZeroMantissa, N (decimal digits) for
 	// FloorDecimal.
 	param int
+	// scale caches 10^param for FloorDecimal and cut caches 2^52/scale
+	// (the magnitude beyond which values are already on the rounding grid)
+	// so the per-word Round path never recomputes them. 0 means "not
+	// precomputed" (a Policy built as a raw literal rather than via
+	// NewFloorDecimal); Round falls back to computing them on the fly.
+	scale float64
+	cut   float64
 }
 
 // None is the disabled policy: values pass through unchanged.
@@ -83,7 +90,8 @@ func NewFloorDecimal(n int) Policy {
 	if n > 15 {
 		n = 15
 	}
-	return Policy{mode: FloorDecimal, param: n}
+	scale := pow10(n)
+	return Policy{mode: FloorDecimal, param: n, scale: scale, cut: float64(uint64(1)<<52) / scale}
 }
 
 // Mode reports the policy's rounding mode.
@@ -121,8 +129,12 @@ func (p Policy) Round(v float64) float64 {
 		if math.IsInf(v, 0) {
 			return v
 		}
-		scale := pow10(p.param)
-		if math.Abs(v) >= float64(uint64(1)<<52)/scale {
+		scale, cut := p.scale, p.cut
+		if scale == 0 {
+			scale = pow10(p.param)
+			cut = float64(uint64(1)<<52) / scale
+		}
+		if math.Abs(v) >= cut {
 			// The value's ULP is at least one bucket: it is already on
 			// (or beyond) the rounding grid, and scaling would lose bits.
 			// Passing it through keeps Round idempotent.

@@ -1,0 +1,167 @@
+package mem
+
+import "testing"
+
+// FuzzCacheInvalidation drives randomized Alloc/Free/Store/Load sequences —
+// including reallocation at a previously freed base via AddrHook, the way
+// deterministic malloc replay places blocks — and checks every access
+// against a flat map model. It exists to catch stale reads through the two
+// access caches (the last-block cache and the fast load/store window), whose
+// invalidation on Free and re-establishment on Alloc is the subtle part of
+// the memory engine's hot path.
+func FuzzCacheInvalidation(f *testing.F) {
+	f.Add([]byte{0, 3, 1, 4, 2, 5})
+	f.Add([]byte{0, 0, 3, 3, 2, 1, 4, 4, 5, 2, 0, 3, 4})
+	f.Add([]byte{0, 2, 1, 2, 1, 2, 1, 4})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		m := New()
+		model := map[uint64]uint64{}
+		type slot struct {
+			base uint64
+			cap  int // footprint in words: reuse must not outgrow it
+		}
+		var live []*Block
+		var freed []slot
+		// pendingBase, when set, makes the next Alloc land on a reused
+		// (previously freed) base — the replay-placement path.
+		pendingBase := uint64(0)
+		havePending := false
+		m.AddrHook = func(site string, seq, words int) (uint64, bool) {
+			if havePending {
+				havePending = false
+				return pendingBase, true
+			}
+			return 0, false
+		}
+
+		arg := func(i int) byte {
+			if i+1 < len(ops) {
+				return ops[i+1]
+			}
+			return 7
+		}
+		pickLive := func(b byte) *Block {
+			if len(live) == 0 {
+				return nil
+			}
+			return live[int(b)%len(live)]
+		}
+		wordAddr := func(blk *Block, b byte) uint64 {
+			return blk.Base + uint64(int(b)%blk.Words)*WordSize
+		}
+
+		for i := 0; i < len(ops); i++ {
+			op := ops[i] % 6
+			sel := arg(i)
+			switch op {
+			case 0: // alloc fresh
+				words := 1 + int(sel)%96
+				blk := m.Alloc("fuzz.site", words, KindWord)
+				live = append(live, blk)
+				for w := 0; w < words; w++ {
+					model[blk.Base+uint64(w)*WordSize] = 0
+				}
+			case 1: // alloc at a freed base, if one exists
+				if len(freed) == 0 {
+					continue
+				}
+				j := int(sel) % len(freed)
+				s := freed[j]
+				freed = append(freed[:j], freed[j+1:]...)
+				pendingBase = s.base
+				havePending = true
+				words := 1 + int(sel)%s.cap
+				blk := m.Alloc("fuzz.reuse", words, KindWord)
+				havePending = false
+				live = append(live, blk)
+				for w := 0; w < words; w++ {
+					model[blk.Base+uint64(w)*WordSize] = 0
+				}
+			case 2: // free a random live block
+				blk := pickLive(sel)
+				if blk == nil {
+					continue
+				}
+				m.Free(blk.Base)
+				// The freed footprint is rounded to the allocator's 16-word
+				// chunk; reuse may occupy up to that without overlapping the
+				// next block.
+				freed = append(freed, slot{blk.Base, (blk.Words + 15) / 16 * 16})
+				for w := 0; w < blk.Words; w++ {
+					delete(model, blk.Base+uint64(w)*WordSize)
+				}
+				for j, b := range live {
+					if b == blk {
+						live = append(live[:j], live[j+1:]...)
+						break
+					}
+				}
+			case 3: // store through the fast path
+				blk := pickLive(sel)
+				if blk == nil {
+					continue
+				}
+				addr := wordAddr(blk, arg(i+1))
+				val := uint64(sel)<<8 | uint64(i)
+				wantOld := model[addr]
+				old, ok := m.StoreFast(addr, val)
+				if !ok {
+					old = m.Store(addr, val)
+				}
+				if old != wantOld {
+					t.Fatalf("op %d: Store old at %#x = %d, model %d", i, addr, old, wantOld)
+				}
+				model[addr] = val
+			case 4: // load through the fast path
+				blk := pickLive(sel)
+				if blk == nil {
+					continue
+				}
+				addr := wordAddr(blk, arg(i+1))
+				v, ok := m.LoadFast(addr)
+				if !ok {
+					v = m.Load(addr)
+				}
+				if want := model[addr]; v != want {
+					t.Fatalf("op %d: Load %#x = %d, model %d", i, addr, v, want)
+				}
+			case 5: // verify BlockAt and a sweep of one block
+				blk := pickLive(sel)
+				if blk == nil {
+					continue
+				}
+				got := m.BlockAt(wordAddr(blk, arg(i+1)))
+				if got != blk {
+					t.Fatalf("op %d: BlockAt resolved %v, want block at %#x", i, got, blk.Base)
+				}
+				for w := 0; w < blk.Words; w++ {
+					addr := blk.Base + uint64(w)*WordSize
+					if v := m.Load(addr); v != model[addr] {
+						t.Fatalf("op %d: sweep %#x = %d, model %d", i, addr, v, model[addr])
+					}
+				}
+			}
+		}
+
+		// Final cross-check: TraverseRuns must agree with the model on
+		// every live word (zero runs are skipped by construction, so only
+		// compare the words it reports).
+		seen := 0
+		m.TraverseRuns(func(base uint64, words []uint64, kind Kind) {
+			for w, v := range words {
+				addr := base + uint64(w)*WordSize
+				want, liveWord := model[addr]
+				if !liveWord {
+					t.Fatalf("TraverseRuns visited dead word %#x", addr)
+				}
+				if v != want {
+					t.Fatalf("TraverseRuns %#x = %d, model %d", addr, v, want)
+				}
+				seen++
+			}
+		})
+		if seen != len(model) {
+			t.Fatalf("TraverseRuns visited %d words, model has %d", seen, len(model))
+		}
+	})
+}

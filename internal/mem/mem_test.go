@@ -218,7 +218,7 @@ func TestSnapshot(t *testing.T) {
 	m.Store(b.Base, 11)
 	snap := m.Snapshot()
 	m.Store(b.Base, 99)
-	if snap.Words[b.Base] != 11 {
+	if v, ok := snap.Word(b.Base); !ok || v != 11 {
 		t.Error("snapshot mutated by later store")
 	}
 	if sb := snap.BlockAt(b.Base + WordSize); sb == nil || sb.Site != "x" {

@@ -394,7 +394,7 @@ func Classify(build func() sim.Program, cfg Config) (*Classification, error) {
 	for _, r := range races {
 		values := make(map[uint64]bool)
 		for _, s := range snaps {
-			v, live := s.Words[r.Addr]
+			v, live := s.Word(r.Addr)
 			if !live {
 				continue // freed by run end: not part of the final state
 			}

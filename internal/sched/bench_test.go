@@ -19,7 +19,7 @@ func BenchmarkYieldNoSwitch(b *testing.B) {
 	s := New(1, 1, 1<<30)
 	_ = s.Run(func(tid int) {
 		for i := 0; i < b.N; i++ {
-			s.Yield(tid)
+			s.Yield()
 		}
 	})
 }

@@ -7,17 +7,21 @@
 // parallel stress runs; with a scripted decider (see Decider) schedules can
 // be enumerated systematically (paper §6.2).
 //
-// Threads are goroutines, but a single token is handed from thread to
-// thread so that exactly one executes at any moment. Given the same
-// decisions the scheduler replays a run exactly; different seeds explore
-// different interleavings. The scheduler is not part of InstantCheck
-// itself — in real usage it is whatever testing tool the programmer already
-// uses — but the checker needs one to drive test runs.
+// Threads are coroutines (iter.Pull): a context switch is a direct
+// coroutine handoff through the dispatcher rather than a channel
+// send/receive pair through the Go runtime's park/unpark machinery, which
+// makes the switch several times cheaper — and switches dominate the
+// scheduler's cost. Exactly one thread executes at any moment. Given the
+// same decisions the scheduler replays a run exactly; different seeds
+// explore different interleavings. The scheduler is not part of
+// InstantCheck itself — in real usage it is whatever testing tool the
+// programmer already uses — but the checker needs one to drive test runs.
 package sched
 
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"sort"
 	"strings"
 )
@@ -27,7 +31,7 @@ import (
 // state was already visited.
 var ErrAborted = errors.New("sched: run aborted")
 
-// runAbort is the panic sentinel used to unwind thread goroutines cleanly
+// runAbort is the panic sentinel used to unwind thread coroutines cleanly
 // during shutdown.
 type runAbort struct{}
 
@@ -35,19 +39,39 @@ type runAbort struct{}
 // NewControlled), call Run with the body of each thread. A Scheduler
 // cannot be reused across runs.
 type Scheduler struct {
-	n           int
-	decider     Decider
-	resume      []chan struct{}
+	n       int
+	decider Decider
+	// resume[tid] re-enters thread tid's coroutine; yields[tid] is the
+	// thread-side suspend function (set by the coroutine on startup);
+	// stops[tid] unwinds the coroutine during shutdown.
+	resume []func() (struct{}, bool)
+	yields []func(struct{}) bool
+	stops  []func()
+	// nextTid is the dispatcher trampoline mailbox: a suspending thread
+	// nominates its successor here before yielding, and the dispatcher
+	// loop in Run performs the actual switch. -1 means no successor (all
+	// finished, or the run failed).
+	nextTid int
+	// curTid is the thread currently executing, maintained by the
+	// dispatcher at every handoff. It lets the per-operation Yield fast
+	// path take no arguments at all, which keeps it (and the simulator's
+	// per-access wrappers around it) within the compiler's inline budget.
+	curTid      int
 	runnable    []int    // ids of runnable threads
 	runnablePos []int    // thread id -> index in runnable, or -1
 	blocked     []string // thread id -> block reason, "" if not blocked
+	blockedEp   []int    // thread id -> episode suffix for the reason, or -1
 	finished    []bool
 	nFinished   int
 	untilSwitch int
-	aborted     bool
-	done        chan struct{}
-	failure     chan error
-	opCount     uint64
+	// lastBudget is the value untilSwitch was last refilled to and opsBase
+	// the number of Yields consumed in earlier budget windows; together they
+	// reconstruct the op count without a second counter update on the
+	// per-operation fast path (Ops() = opsBase + lastBudget - untilSwitch).
+	lastBudget int
+	opsBase    uint64
+	aborted    bool
+	err        error
 }
 
 // New returns a scheduler for n threads using the default seeded random
@@ -62,6 +86,16 @@ func New(n int, seed int64, interval int) *Scheduler {
 	return NewControlled(n, newRandomDecider(seed, interval))
 }
 
+// Inert returns a scheduler for instrumentation that runs outside any
+// schedule, such as a program's single-threaded setup phase: Yield is a
+// pure counter decrement that never consults a decider and never context-
+// switches (the budget starts effectively infinite). Only Yield and Ops may
+// be called on an inert scheduler.
+func Inert() *Scheduler {
+	const never = int(^uint(0) >> 1)
+	return &Scheduler{untilSwitch: never, lastBudget: never, nextTid: -1, curTid: -1}
+}
+
 // NewControlled returns a scheduler driven by an explicit decision policy.
 func NewControlled(n int, d Decider) *Scheduler {
 	if n <= 0 {
@@ -73,19 +107,22 @@ func NewControlled(n int, d Decider) *Scheduler {
 	s := &Scheduler{
 		n:           n,
 		decider:     d,
-		resume:      make([]chan struct{}, n),
+		resume:      make([]func() (struct{}, bool), n),
+		yields:      make([]func(struct{}) bool, n),
+		stops:       make([]func(), n),
+		nextTid:     -1,
 		runnable:    make([]int, 0, n),
 		runnablePos: make([]int, n),
 		blocked:     make([]string, n),
+		blockedEp:   make([]int, n),
 		finished:    make([]bool, n),
-		done:        make(chan struct{}),
-		failure:     make(chan error, 1),
 	}
 	for i := 0; i < n; i++ {
-		s.resume[i] = make(chan struct{}, 1)
 		s.runnablePos[i] = -1
+		s.blockedEp[i] = -1
 	}
 	s.untilSwitch = d.SwitchBudget()
+	s.lastBudget = s.untilSwitch
 	return s
 }
 
@@ -93,7 +130,7 @@ func NewControlled(n int, d Decider) *Scheduler {
 func (s *Scheduler) N() int { return s.n }
 
 // Ops returns the number of Yield points observed so far (a progress clock).
-func (s *Scheduler) Ops() uint64 { return s.opCount }
+func (s *Scheduler) Ops() uint64 { return s.opsBase + uint64(s.lastBudget-s.untilSwitch) }
 
 // Run executes body(tid) for every thread id in [0, n) under the
 // serialized schedule and returns when all threads have finished. It
@@ -105,10 +142,10 @@ func (s *Scheduler) Run(body func(tid int)) error {
 	}
 	for i := 0; i < s.n; i++ {
 		tid := i
-		go func() {
-			<-s.resume[tid] // wait to be scheduled for the first time
-			if s.aborted {
-				return
+		next, stop := iter.Pull(func(yield func(struct{}) bool) {
+			s.yields[tid] = yield
+			if !yield(struct{}{}) {
+				return // stopped before ever being scheduled
 			}
 			defer func() {
 				if r := recover(); r != nil {
@@ -121,31 +158,53 @@ func (s *Scheduler) Run(body func(tid int)) error {
 				s.finish(tid)
 			}()
 			body(tid)
-		}()
+		})
+		s.resume[tid] = next
+		s.stops[tid] = stop
+		next() // start the coroutine; it parks awaiting its first schedule
 	}
-	// Hand the token to the first chosen thread.
-	first := s.pick()
-	s.resume[first] <- struct{}{}
-	select {
-	case <-s.done:
-		return nil
-	case err := <-s.failure:
-		return err
+	// Dispatcher trampoline: hand control to the chosen thread; each time
+	// its coroutine suspends (or returns), switch to whichever successor it
+	// nominated. A switch is one yield + one resume — no runtime parking.
+	s.nextTid = s.pick()
+	for s.nextTid >= 0 {
+		tid := s.nextTid
+		s.nextTid = -1
+		s.curTid = tid
+		s.resume[tid]()
 	}
+	// Unwind every still-parked coroutine so their deferred cleanup runs
+	// before Run returns (the pending yield inside switchTo reports the
+	// stop and the thread panics runAbort).
+	for tid := 0; tid < s.n; tid++ {
+		s.stops[tid]()
+	}
+	return s.err
 }
 
-// Yield is a potential preemption point. The running thread calls it at
-// every simulated operation; most calls return immediately, and the
-// decider's switch budget determines when a real context-switch decision
-// happens.
-func (s *Scheduler) Yield(tid int) {
-	s.opCount++
+// Yield is a potential preemption point for the currently running thread,
+// which calls it at every simulated operation; most calls return
+// immediately, and the decider's switch budget determines when a real
+// context-switch decision happens. The fast path is small enough to inline
+// into the simulator's per-operation instrumentation (it takes no arguments
+// — the scheduler already knows who is running); only budget exhaustion
+// pays a call.
+func (s *Scheduler) Yield() {
 	s.untilSwitch--
 	if s.untilSwitch > 0 {
 		return
 	}
-	s.untilSwitch = s.decider.SwitchBudget()
-	s.Preempt(tid)
+	s.yieldSwitch()
+}
+
+// yieldSwitch is Yield's slow path: bank the consumed budget window into the
+// op count, refill the switch budget, and let the decider pick who runs next.
+func (s *Scheduler) yieldSwitch() {
+	s.opsBase += uint64(s.lastBudget - s.untilSwitch)
+	b := s.decider.SwitchBudget()
+	s.untilSwitch = b
+	s.lastBudget = b
+	s.Preempt(s.curTid)
 }
 
 // Preempt forces a context-switch decision now: the decider picks a
@@ -155,8 +214,7 @@ func (s *Scheduler) Preempt(tid int) {
 	if next == tid {
 		return
 	}
-	s.resume[next] <- struct{}{}
-	s.waitResume(tid)
+	s.switchTo(tid, next)
 }
 
 // Block removes the calling thread from the runnable set, recording reason
@@ -164,15 +222,22 @@ func (s *Scheduler) Preempt(tid int) {
 // when some other thread calls Unpark for the caller and the scheduler
 // later selects it.
 func (s *Scheduler) Block(tid int, reason string) {
+	s.BlockEp(tid, reason, -1)
+}
+
+// BlockEp is Block with an episode number appended to the diagnostic
+// reason (rendered as "<reason> ep<ep>" when ep >= 0). Episodic primitives
+// like barriers use it so the blocking hot path never formats a string;
+// the suffix is only rendered if the run actually deadlocks.
+func (s *Scheduler) BlockEp(tid int, reason string, ep int) {
 	s.removeRunnable(tid)
 	s.blocked[tid] = reason
+	s.blockedEp[tid] = ep
 	if len(s.runnable) == 0 {
 		s.fail(s.deadlockError())
 		panic(runAbort{})
 	}
-	next := s.pick()
-	s.resume[next] <- struct{}{}
-	s.waitResume(tid)
+	s.switchTo(tid, s.pick())
 }
 
 // Unpark makes thread tid runnable again. It must be called by the running
@@ -186,6 +251,7 @@ func (s *Scheduler) Unpark(tid int) {
 		return // already runnable
 	}
 	s.blocked[tid] = ""
+	s.blockedEp[tid] = -1
 	s.addRunnable(tid)
 }
 
@@ -197,56 +263,41 @@ func (s *Scheduler) Abort(reason error) {
 	panic(runAbort{})
 }
 
-// waitResume parks the calling thread until it is handed the token, then
-// unwinds it if the run was aborted in the meantime.
-func (s *Scheduler) waitResume(tid int) {
-	<-s.resume[tid]
-	if s.aborted {
+// switchTo suspends the calling thread after nominating next as its
+// successor; the dispatcher performs the handoff. It returns when the
+// scheduler later selects the caller again, and unwinds the caller if the
+// run was stopped in the meantime.
+func (s *Scheduler) switchTo(tid, next int) {
+	s.nextTid = next
+	if !s.yields[tid](struct{}{}) || s.aborted {
 		panic(runAbort{})
 	}
 }
 
-// finish retires the calling thread and hands the token onward, or signals
-// run completion if it was the last.
+// finish retires the calling thread and nominates a successor, or leaves
+// the dispatcher with none if it was the last (or the run just deadlocked).
 func (s *Scheduler) finish(tid int) {
 	s.finished[tid] = true
 	s.nFinished++
 	s.removeRunnable(tid)
 	if s.nFinished == s.n {
-		close(s.done)
 		return
 	}
 	if len(s.runnable) == 0 {
 		s.fail(s.deadlockError())
 		return
 	}
-	next := s.pick()
-	s.resume[next] <- struct{}{}
+	s.nextTid = s.pick()
 }
 
-// fail records the first failure, marks the run aborted, and wakes every
-// parked thread so its goroutine can unwind. Must be called by the thread
-// currently holding the token (or by the last finishing one).
+// fail records the first failure and marks the run aborted; the dispatcher
+// then unwinds every parked thread before Run returns.
 func (s *Scheduler) fail(err error) {
-	select {
-	case s.failure <- err:
-	default:
-	}
-	if s.aborted {
-		return
+	if s.err == nil {
+		s.err = err
 	}
 	s.aborted = true
-	for tid := 0; tid < s.n; tid++ {
-		if !s.finished[tid] {
-			// Every non-finished, non-running thread is parked on its
-			// resume channel (capacity 1, currently empty); the running
-			// thread's own send is harmlessly absorbed by the buffer.
-			select {
-			case s.resume[tid] <- struct{}{}:
-			default:
-			}
-		}
-	}
+	s.nextTid = -1
 }
 
 func (s *Scheduler) pick() int {
@@ -281,6 +332,9 @@ func (s *Scheduler) deadlockError() error {
 	var waiting []string
 	for tid, reason := range s.blocked {
 		if reason != "" && !s.finished[tid] {
+			if ep := s.blockedEp[tid]; ep >= 0 {
+				reason = fmt.Sprintf("%s ep%d", reason, ep)
+			}
 			waiting = append(waiting, fmt.Sprintf("thread %d: %s", tid, reason))
 		}
 	}

@@ -16,7 +16,7 @@ func trace(seed int64, n, opsPer int) []string {
 	_ = s.Run(func(tid int) {
 		for i := 0; i < opsPer; i++ {
 			log = append(log, fmt.Sprintf("t%d.%d", tid, i))
-			s.Yield(tid)
+			s.Yield()
 		}
 	})
 	return log
@@ -102,8 +102,8 @@ func TestMutexMutualExclusion(t *testing.T) {
 				if inside > maxInside {
 					maxInside = inside
 				}
-				s.Yield(tid) // try hard to interleave inside the section
-				s.Yield(tid)
+				s.Yield() // try hard to interleave inside the section
+				s.Yield()
 				inside--
 				mu.Unlock(s, tid)
 			}
@@ -126,7 +126,7 @@ func TestMutexUnlockByNonOwnerPanics(t *testing.T) {
 			mu.Lock(s, tid)
 		} else {
 			for !mu.held {
-				s.Yield(tid)
+				s.Yield()
 			}
 			mu.Unlock(s, tid) // not the owner: must panic
 		}
@@ -257,7 +257,7 @@ func TestDeadlockDetected(t *testing.T) {
 		first.Lock(s, tid)
 		// Force the classic ABBA interleaving regardless of schedule.
 		for !(a.held && b.held) {
-			s.Yield(tid)
+			s.Yield()
 		}
 		second.Lock(s, tid)
 		second.Unlock(s, tid)
@@ -327,7 +327,7 @@ func TestThreadPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 		for i := 0; i < 100; i++ {
-			s.Yield(tid)
+			s.Yield()
 		}
 	})
 	if err == nil || !strings.Contains(err.Error(), "boom") {
@@ -340,7 +340,7 @@ func TestOpsClock(t *testing.T) {
 	s := New(2, 1, 3)
 	_ = s.Run(func(tid int) {
 		for i := 0; i < 10; i++ {
-			s.Yield(tid)
+			s.Yield()
 		}
 	})
 	if s.Ops() != 20 {
@@ -362,7 +362,7 @@ func TestUnparkIdempotent(t *testing.T) {
 			released = true
 		} else {
 			for !released {
-				s.Yield(tid) // keep thread 1 alive until the unpark lands
+				s.Yield() // keep thread 1 alive until the unpark lands
 			}
 		}
 	})
@@ -382,9 +382,9 @@ func TestUnparkFinishedPanics(t *testing.T) {
 			return
 		}
 		for !oneDone {
-			s.Yield(tid)
+			s.Yield()
 		}
-		s.Yield(tid) // let thread 1 fully retire
+		s.Yield() // let thread 1 fully retire
 		s.Unpark(1)
 	})
 	if err == nil || !strings.Contains(err.Error(), "unpark of finished thread") {

@@ -11,16 +11,19 @@ type Mutex struct {
 	owner   int
 	waiters []int
 	name    string
+	reason  string // "lock <name>", precomputed off the blocking path
 }
 
 // NewMutex returns an unlocked mutex. name appears in deadlock diagnostics.
-func NewMutex(name string) *Mutex { return &Mutex{name: name, owner: -1} }
+func NewMutex(name string) *Mutex {
+	return &Mutex{name: name, owner: -1, reason: "lock " + name}
+}
 
 // Lock acquires the mutex on behalf of thread tid, blocking in s if held.
 func (m *Mutex) Lock(s *Scheduler, tid int) {
 	for m.held {
 		m.waiters = append(m.waiters, tid)
-		s.Block(tid, "lock "+m.name)
+		s.Block(tid, m.reason)
 		// Re-check on wake: another thread may have slipped in between the
 		// unpark and this thread actually being scheduled (barging), which
 		// is exactly how pthread mutexes behave.
@@ -52,6 +55,7 @@ type Barrier struct {
 	waiting []int
 	episode int
 	name    string
+	reason  string // "barrier <name>"; the episode is appended lazily
 	// OnFull, if non-nil, runs once per episode, just before the waiters
 	// are released, on the last-arriving thread. episode numbers from 0.
 	OnFull func(episode int, lastTID int)
@@ -62,7 +66,7 @@ func NewBarrier(name string, parties int) *Barrier {
 	if parties <= 0 {
 		panic("sched: barrier party count must be positive")
 	}
-	return &Barrier{parties: parties, name: name}
+	return &Barrier{parties: parties, name: name, reason: "barrier " + name}
 }
 
 // Episode returns the number of completed barrier episodes.
@@ -86,7 +90,7 @@ func (b *Barrier) Await(s *Scheduler, tid int) {
 		return
 	}
 	b.waiting = append(b.waiting, tid)
-	s.Block(tid, fmt.Sprintf("barrier %s ep%d", b.name, b.episode))
+	s.BlockEp(tid, b.reason, b.episode)
 }
 
 // Cond is a scheduler-aware condition variable associated with a Mutex.
@@ -94,10 +98,13 @@ type Cond struct {
 	m       *Mutex
 	waiters []int
 	name    string
+	reason  string // "cond <name>", precomputed off the blocking path
 }
 
 // NewCond returns a condition variable tied to m.
-func NewCond(name string, m *Mutex) *Cond { return &Cond{m: m, name: name} }
+func NewCond(name string, m *Mutex) *Cond {
+	return &Cond{m: m, name: name, reason: "cond " + name}
+}
 
 // Wait atomically releases the mutex, blocks tid until signalled, then
 // reacquires the mutex before returning. As with pthreads, spurious
@@ -105,7 +112,7 @@ func NewCond(name string, m *Mutex) *Cond { return &Cond{m: m, name: name} }
 func (c *Cond) Wait(s *Scheduler, tid int) {
 	c.waiters = append(c.waiters, tid)
 	c.m.Unlock(s, tid)
-	s.Block(tid, "cond "+c.name)
+	s.Block(tid, c.reason)
 	c.m.Lock(s, tid)
 }
 

@@ -32,15 +32,32 @@ func BenchmarkMachineHWInc(b *testing.B) { benchRun(b, HWInc) }
 // BenchmarkMachineSWTr measures traversal hashing at every checkpoint.
 func BenchmarkMachineSWTr(b *testing.B) { benchRun(b, SWTr) }
 
-// BenchmarkTraverseHash isolates the per-checkpoint sweep cost.
+// BenchmarkTraverseHash isolates the per-checkpoint sweep cost, sequential
+// versus sharded across goroutines. On a single-core host the parallel
+// variant mostly measures fan-out overhead; with real cores it shows the
+// sweep scaling.
 func BenchmarkTraverseHash(b *testing.B) {
-	m := NewMachine(Config{Threads: 1, ScheduleSeed: 1, Scheme: SWTr})
-	prog := newFuzz(1, 7, 300)
-	if _, err := m.Run(prog); err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = m.traverseHash()
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"sequential", 1},
+		{"parallel", 4},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			m := NewMachine(Config{
+				Threads: 1, ScheduleSeed: 1, Scheme: SWTr,
+				TraverseShards: cfg.shards,
+			})
+			prog := newFuzz(1, 7, 300)
+			if _, err := m.Run(prog); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = m.traverseHash()
+			}
+		})
 	}
 }

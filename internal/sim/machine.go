@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"instantcheck/internal/fpround"
 	"instantcheck/internal/ihash"
@@ -41,6 +43,11 @@ type Machine struct {
 
 	rounding fpround.Policy
 	roundFP  bool
+
+	// zeroSums caches Σ h(a,0) per page-bounded run for the traversal
+	// scheme; travRuns is the reusable run-gathering scratch buffer.
+	zeroSums *ihash.ZeroSumCache
+	travRuns []travRun
 
 	checkpoints []Checkpoint
 	counters    Counters
@@ -96,6 +103,16 @@ func (m *Machine) newUnit() *mhm.Unit {
 	return u
 }
 
+// newThread builds an execution context, pre-resolving the pointers the
+// per-operation accessors chase on every simulated instruction.
+func (m *Machine) newThread(tid int, sch *sched.Scheduler, unit *mhm.Unit) *Thread {
+	return &Thread{
+		m: m, tid: tid, sch: sch,
+		mm: m.Mem, ctr: &m.counters, ev: m.cfg.Events,
+		unit: unit,
+	}
+}
+
 // Config returns the run configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
@@ -118,7 +135,7 @@ func (m *Machine) Run(p Program) (*Result, error) {
 	}
 	// Setup phase on the init thread: the allocations and stores it makes
 	// are the program's fixed input state.
-	init := &Thread{m: m, tid: -1, unit: m.initUnit}
+	init := m.newThread(-1, sched.Inert(), m.initUnit)
 	p.Setup(init)
 	m.counters.SetupInstr = init.instr
 	m.counters.Instr += init.instr
@@ -134,7 +151,7 @@ func (m *Machine) Run(p Program) (*Result, error) {
 		if m.units != nil {
 			u = m.units[i]
 		}
-		threads[i] = &Thread{m: m, tid: i, unit: u}
+		threads[i] = m.newThread(i, m.sch, u)
 	}
 	m.running = true
 	err := m.sch.Run(func(tid int) {
@@ -246,21 +263,128 @@ func (m *Machine) capture(label string) error {
 	return nil
 }
 
+// travRun is one page-bounded run of live words queued for hashing, with
+// its precomputed Σ h(a, 0) already attached so shard workers never touch
+// the (non-thread-safe) zero-sum cache.
+type travRun struct {
+	base  uint64
+	words []uint64
+	kind  mem.Kind
+	zero  ihash.Digest
+}
+
+// parallelTraverseWords is the live-state size (in words) above which the
+// auto setting shards the checkpoint sweep. Below it the fan-out overhead
+// (goroutine wake-ups plus a barrier) outweighs the hashing itself.
+const parallelTraverseWords = 1 << 15
+
 // traverseHash computes the state hash by sweeping the static segment and
 // the live-allocation table, as SW-InstantCheck_Tr does (§4.2). Each live
 // word contributes h(a, v) ⊖ h(a, 0): its delta from the fixed zero-filled
 // initial state, the same quantity the incremental schemes accumulate. FP
 // words are rounded using the allocation table's type information.
+//
+// Two fast paths apply. Runs whose backing page was never materialized are
+// still all-zero, so their Σ h(a,v) equals their Σ h(a,0) and they cancel
+// without being visited at all. For materialized runs the Σ h(a,0) term
+// depends only on the address range, so it comes from a per-run cache
+// (warmed at allocation time) instead of a per-word hash. When the live
+// state is large — or Config.TraverseShards forces it — the runs are
+// sharded across goroutines with per-shard partial digests combined by ⊕,
+// which is bit-identical to the sequential sweep by commutativity.
 func (m *Machine) traverseHash() ihash.Digest {
-	var sh ihash.Digest
-	round := m.roundFP
-	m.Mem.Traverse(func(addr, value uint64, kind mem.Kind) {
-		if kind == mem.KindFloat && round {
-			value = m.rounding.RoundBits(value)
+	if m.zeroSums == nil {
+		m.zeroSums = ihash.NewZeroSumCache(m.hasher)
+	}
+	runs := m.travRuns[:0]
+	total := 0
+	m.Mem.TraverseRuns(func(base uint64, words []uint64, kind mem.Kind) {
+		if mem.IsZeroRun(words) {
+			return // Σ h(a,0) ⊖ Σ h(a,0) = 0: untouched runs cancel exactly
 		}
-		sh = sh.Combine(m.hasher.HashWord(addr, value)).Subtract(m.hasher.HashWord(addr, 0))
+		runs = append(runs, travRun{base, words, kind, m.zeroSums.Sum(base, len(words))})
+		total += len(words)
 	})
-	return sh
+	m.travRuns = runs
+
+	shards := m.cfg.TraverseShards
+	if shards == 0 && total >= parallelTraverseWords {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards <= 1 || len(runs) < 2 {
+		var sh ihash.Digest
+		for i := range runs {
+			sh = sh.Combine(m.hashRun(&runs[i]))
+		}
+		return sh
+	}
+	if shards > len(runs) {
+		shards = len(runs)
+	}
+	parts := make([]ihash.Digest, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var d ihash.Digest
+			for i := s; i < len(runs); i += shards {
+				d = d.Combine(m.hashRun(&runs[i]))
+			}
+			parts[s] = d
+		}(s)
+	}
+	wg.Wait()
+	return ihash.CombineAll(parts...)
+}
+
+// hashRun returns Σ h(a, v) ⊖ Σ h(a, 0) for one run. It reads only
+// immutable machine state (hasher, rounding policy) and the quiescent
+// memory the run aliases, so shard workers may call it concurrently.
+func (m *Machine) hashRun(r *travRun) ihash.Digest {
+	h := m.hasher
+	var d ihash.Digest
+	if r.kind == mem.KindFloat && m.roundFP {
+		rd := m.rounding
+		if _, ok := h.(ihash.Mix64); ok {
+			// Devirtualized: with the default hasher the per-word hash
+			// inlines, leaving the round-off unit as the loop's only call.
+			var mh ihash.Mix64
+			for i, v := range r.words {
+				d = d.Combine(mh.HashWord(r.base+uint64(i)*mem.WordSize, rd.RoundBits(v)))
+			}
+		} else {
+			for i, v := range r.words {
+				d = d.Combine(h.HashWord(r.base+uint64(i)*mem.WordSize, rd.RoundBits(v)))
+			}
+		}
+	} else {
+		d = ihash.BatchInsert(h, r.base, r.words)
+	}
+	return d.Subtract(r.zero)
+}
+
+// warmZeroSums precomputes the Σ h(a,0) cache entries for a block's
+// page-bounded runs at allocation time, keeping that cost off the
+// checkpoint path. Only the traversal scheme maintains the cache.
+func (m *Machine) warmZeroSums(base uint64, words int) {
+	if m.zeroSums == nil {
+		if m.cfg.Scheme.Incremental() || !m.cfg.Scheme.Hashing() {
+			return
+		}
+		m.zeroSums = ihash.NewZeroSumCache(m.hasher)
+	}
+	const pageBytes = mem.PageWords * mem.WordSize
+	addr := base
+	end := base + uint64(words)*mem.WordSize
+	for addr < end {
+		chunkEnd := (addr/pageBytes + 1) * pageBytes
+		if chunkEnd > end {
+			chunkEnd = end
+		}
+		m.zeroSums.Warm(addr, int((chunkEnd-addr)/mem.WordSize))
+		addr = chunkEnd
+	}
 }
 
 // SetFPRounding flips the FP round-off unit for every thread mid-run,

@@ -144,6 +144,15 @@ type Config struct {
 	// Result.OutputData (for tests that decode the program's output);
 	// by default only the stream hashes are kept, as in the paper.
 	CaptureOutput bool
+	// TraverseShards controls the parallelism of the traversal scheme's
+	// checkpoint sweep. 0 (the default) selects automatically: shard
+	// across runtime.GOMAXPROCS goroutines when the live state is large
+	// enough to amortize the fan-out, sequential otherwise. 1 or any
+	// negative value forces the sequential sweep; N > 1 forces N shards
+	// (property tests use this to exercise the parallel path on small
+	// states). The sharded sweep is bit-identical to the sequential one
+	// because ⊕ is commutative and associative.
+	TraverseShards int
 }
 
 // EventListener observes a run's memory accesses and synchronization, the

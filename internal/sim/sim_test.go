@@ -699,7 +699,7 @@ func TestSnapshotAt(t *testing.T) {
 	if res.Checkpoints[0].Snapshot == nil {
 		t.Error("requested snapshot missing")
 	}
-	if res.Checkpoints[0].Snapshot.Words[mem.StaticBase] != 3 {
+	if v, ok := res.Checkpoints[0].Snapshot.Word(mem.StaticBase); !ok || v != 3 {
 		t.Error("snapshot content wrong")
 	}
 }

@@ -18,8 +18,20 @@ import (
 // threads yield at every operation, giving the random scheduler its
 // preemption points.
 type Thread struct {
-	m     *Machine
-	tid   int
+	m   *Machine
+	tid int
+	// sch caches m.sch for worker threads; the init thread carries an
+	// inert scheduler instead, so the per-operation yield is an
+	// unconditional counter decrement that inlines into every instrumented
+	// accessor.
+	sch *sched.Scheduler
+	// mm, ctr, and ev cache m.Mem, &m.counters, and m.cfg.Events: the
+	// per-operation accessors touch all three, and loading them once at
+	// thread construction saves a chase through t.m on every simulated
+	// instruction.
+	mm    *mem.Memory
+	ctr   *Counters
+	ev    EventListener
 	unit  *mhm.Unit // nil when the scheme is not incremental
 	instr uint64
 }
@@ -35,11 +47,7 @@ func (t *Thread) Instr() uint64 { return t.instr }
 
 func (t *Thread) charge(n uint64) { t.instr += n }
 
-func (t *Thread) yield() {
-	if t.tid >= 0 {
-		t.m.sch.Yield(t.tid)
-	}
-}
+func (t *Thread) yield() { t.sch.Yield() }
 
 // Compute charges n units of pure computation (arithmetic that touches no
 // shared memory) and offers a preemption point.
@@ -53,12 +61,15 @@ func (t *Thread) Compute(n int) {
 // Load reads the integer word at addr.
 func (t *Thread) Load(addr uint64) uint64 {
 	t.charge(CostLoad)
-	t.m.counters.Loads++
+	t.ctr.Loads++
 	t.yield()
-	if ev := t.m.cfg.Events; ev != nil {
+	if ev := t.ev; ev != nil {
 		ev.OnRead(t.tid, addr)
 	}
-	return t.m.Mem.Load(addr)
+	if v, ok := t.mm.LoadFast(addr); ok {
+		return v
+	}
+	return t.mm.Load(addr)
 }
 
 // LoadF reads the float64 at addr.
@@ -83,12 +94,12 @@ func (t *Thread) StoreF(addr uint64, value float64) {
 
 func (t *Thread) store(addr, value uint64, isFP bool) {
 	t.charge(CostStore)
-	t.m.counters.Stores++
+	t.ctr.Stores++
 	if isFP {
-		t.m.counters.FPStores++
+		t.ctr.FPStores++
 	}
 	t.checkKind(addr, isFP)
-	if ev := t.m.cfg.Events; ev != nil {
+	if ev := t.ev; ev != nil {
 		ev.OnWrite(t.tid, addr)
 	}
 	switch t.m.cfg.Scheme {
@@ -98,15 +109,18 @@ func (t *Thread) store(addr, value uint64, isFP bool) {
 		// write-write race another thread's store can land in between,
 		// making `stale` differ from the value the store replaces and
 		// corrupting the hash.
-		stale := t.m.Mem.Peek(addr)
+		stale := t.mm.Peek(addr)
 		t.yield()
-		t.m.Mem.Store(addr, value)
+		t.mm.Store(addr, value)
 		if t.unit != nil {
 			t.unit.OnStore(addr, stale, value, isFP)
 		}
 	default:
 		t.yield()
-		old := t.m.Mem.Store(addr, value)
+		old, ok := t.mm.StoreFast(addr, value)
+		if !ok {
+			old = t.mm.Store(addr, value)
+		}
 		if t.unit != nil {
 			t.unit.OnStore(addr, old, value, isFP)
 		}
@@ -114,7 +128,7 @@ func (t *Thread) store(addr, value uint64, isFP bool) {
 }
 
 func (t *Thread) checkKind(addr uint64, isFP bool) {
-	b := t.m.Mem.BlockAt(addr)
+	b := t.mm.BlockAt(addr)
 	if b == nil {
 		return // Store will panic with a better message
 	}
@@ -130,16 +144,17 @@ func (t *Thread) checkKind(addr uint64, isFP bool) {
 // fixed input (§5).
 func (t *Thread) Malloc(site string, words int, kind mem.Kind) uint64 {
 	t.charge(CostMalloc)
-	t.m.counters.Allocs++
+	t.ctr.Allocs++
 	t.yield()
-	b := t.m.Mem.Alloc(site, words, kind)
+	b := t.mm.Alloc(site, words, kind)
 	if t.m.cfg.AddrLog != nil {
 		t.m.cfg.AddrLog.Record(site, b.Seq, b.Base)
 	}
+	t.m.warmZeroSums(b.Base, words)
 	// Zero-filling the allocation is checking-induced work (§7.3: the HW
 	// scheme's only overhead); it needs no hash updates because a zero
 	// word's delta from the zero initial state is itself zero.
-	t.m.counters.AllocZeroWords += uint64(words)
+	t.ctr.AllocZeroWords += uint64(words)
 	return b.Base
 }
 
@@ -149,7 +164,9 @@ func (t *Thread) AllocStatic(site string, words int, kind mem.Kind) uint64 {
 	if t.tid >= 0 {
 		panic("sim: AllocStatic outside the Setup phase")
 	}
-	return t.m.Mem.AllocStatic(site, words, kind)
+	base := t.mm.AllocStatic(site, words, kind)
+	t.m.warmZeroSums(base, words)
+	return base
 }
 
 // Free releases the block based at base. InstantCheck erases the freed
@@ -158,23 +175,23 @@ func (t *Thread) AllocStatic(site string, words int, kind mem.Kind) uint64 {
 // "no longer part of the program state" (§7.2, pbzip2 discussion).
 func (t *Thread) Free(base uint64) {
 	t.charge(CostFree)
-	t.m.counters.Frees++
+	t.ctr.Frees++
 	t.yield()
-	blk := t.m.Mem.BlockAt(base)
+	blk := t.mm.BlockAt(base)
 	if blk == nil || blk.Base != base {
 		panic("sim: Free of a non-block address")
 	}
 	isFP := blk.Kind == mem.KindFloat
 	for i := 0; i < blk.Words; i++ {
 		addr := base + uint64(i)*mem.WordSize
-		old := t.m.Mem.Store(addr, 0)
+		old := t.mm.Store(addr, 0)
 		if t.unit != nil && old != 0 {
 			t.unit.MinusHash(addr, old, isFP)
 			t.unit.PlusHash(addr, 0, isFP)
 		}
 	}
-	t.m.counters.FreeEraseWords += uint64(blk.Words)
-	t.m.Mem.Free(base)
+	t.ctr.FreeEraseWords += uint64(blk.Words)
+	t.mm.Free(base)
 }
 
 // Lock acquires mu, blocking in the scheduler if necessary.
@@ -182,7 +199,7 @@ func (t *Thread) Lock(mu *sched.Mutex) {
 	t.charge(CostLock)
 	t.yield()
 	mu.Lock(t.m.sch, t.tid)
-	if ev := t.m.cfg.Events; ev != nil {
+	if ev := t.ev; ev != nil {
 		ev.OnAcquire(t.tid, mu)
 	}
 }
@@ -190,7 +207,7 @@ func (t *Thread) Lock(mu *sched.Mutex) {
 // Unlock releases mu.
 func (t *Thread) Unlock(mu *sched.Mutex) {
 	t.charge(CostUnlock)
-	if ev := t.m.cfg.Events; ev != nil {
+	if ev := t.ev; ev != nil {
 		ev.OnRelease(t.tid, mu)
 	}
 	mu.Unlock(t.m.sch, t.tid)

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"instantcheck/internal/replay"
+)
+
+// runFuzzShards is runFuzz with the traversal shard count pinned, so the
+// checkpoint sweep's sequential and parallel paths can be compared on the
+// same program and schedule.
+func runFuzzShards(t *testing.T, scheme Scheme, progSeed uint64, schedSeed int64, addrLog *replay.AddrLog, shards int, roundFP bool) *Result {
+	t.Helper()
+	m := NewMachine(Config{
+		Threads:        3,
+		ScheduleSeed:   schedSeed,
+		Scheme:         scheme,
+		AddrLog:        addrLog,
+		TraverseShards: shards,
+		RoundFP:        roundFP,
+	})
+	res, err := m.Run(newFuzz(3, progSeed, 40))
+	if err != nil {
+		t.Fatalf("fuzz run (shards=%d): %v", shards, err)
+	}
+	return res
+}
+
+// TestParallelTraversalMatchesSequential is the correctness property behind
+// the parallel checkpoint sweep: because ⊕ is commutative and associative,
+// sharding the live runs across goroutines and combining per-shard partial
+// digests must produce a hash bit-identical to the sequential sweep — and
+// both must equal the incrementally maintained State Hash. The test runs a
+// randomized allocate/store/free/lock workload over many program and
+// schedule seeds and compares all three at every checkpoint. Run it under
+// -race to also validate that shard workers share no mutable state.
+func TestParallelTraversalMatchesSequential(t *testing.T) {
+	for _, roundFP := range []bool{false, true} {
+		for progSeed := uint64(1); progSeed <= 6; progSeed++ {
+			for schedSeed := int64(-2); schedSeed <= 2; schedSeed++ {
+				log := replay.NewAddrLog()
+				inc := runFuzzShards(t, HWInc, progSeed, schedSeed, log, 0, roundFP)
+				seq := runFuzzShards(t, SWTr, progSeed, schedSeed, log, 1, roundFP)
+				// Forcing more shards than this machine has CPUs is fine:
+				// the point is exercising the concurrent path even on a
+				// single-core host.
+				par := runFuzzShards(t, SWTr, progSeed, schedSeed, log, 4, roundFP)
+
+				if len(seq.Checkpoints) != len(par.Checkpoints) || len(seq.Checkpoints) != len(inc.Checkpoints) {
+					t.Fatalf("roundFP=%v seeds=(%d,%d): checkpoint counts differ: inc=%d seq=%d par=%d",
+						roundFP, progSeed, schedSeed, len(inc.Checkpoints), len(seq.Checkpoints), len(par.Checkpoints))
+				}
+				for i := range seq.Checkpoints {
+					s, p, h := seq.Checkpoints[i].SH, par.Checkpoints[i].SH, inc.Checkpoints[i].SH
+					if s != p {
+						t.Fatalf("roundFP=%v seeds=(%d,%d) checkpoint %d: sequential %s != parallel %s",
+							roundFP, progSeed, schedSeed, i, s, p)
+					}
+					if s != h {
+						t.Fatalf("roundFP=%v seeds=(%d,%d) checkpoint %d: traversal %s != incremental %s",
+							roundFP, progSeed, schedSeed, i, s, h)
+					}
+				}
+			}
+		}
+	}
+}

@@ -67,29 +67,12 @@ type SiteSummary struct {
 }
 
 // Diff compares two snapshots and returns the differing words in address
-// order.
+// order. Snapshots store their words as sorted parallel slices, so the
+// comparison is a single linear merge walk — no set construction or sort.
 func Diff(a, b *mem.Snapshot) []Difference {
-	addrs := make(map[uint64]bool, len(a.Words)+len(b.Words))
-	for addr := range a.Words {
-		addrs[addr] = true
-	}
-	for addr := range b.Words {
-		addrs[addr] = true
-	}
-	ordered := make([]uint64, 0, len(addrs))
-	for addr := range addrs {
-		ordered = append(ordered, addr)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
-
 	var out []Difference
-	for _, addr := range ordered {
-		va, inA := a.Words[addr]
-		vb, inB := b.Words[addr]
-		if inA && inB && va == vb {
-			continue
-		}
-		d := Difference{Addr: addr, A: va, B: vb, Site: "?"}
+	emit := func(addr, va, vb uint64, onlyIn string) {
+		d := Difference{Addr: addr, A: va, B: vb, OnlyIn: onlyIn, Site: "?"}
 		blk := a.BlockAt(addr)
 		if blk == nil {
 			blk = b.BlockAt(addr)
@@ -100,13 +83,29 @@ func Diff(a, b *mem.Snapshot) []Difference {
 			d.Offset = int((addr - blk.Base) / mem.WordSize)
 			d.Kind = blk.Kind
 		}
-		switch {
-		case inA && !inB:
-			d.OnlyIn = "A"
-		case inB && !inA:
-			d.OnlyIn = "B"
-		}
 		out = append(out, d)
+	}
+	i, j := 0, 0
+	for i < len(a.Addrs) && j < len(b.Addrs) {
+		switch {
+		case a.Addrs[i] < b.Addrs[j]:
+			emit(a.Addrs[i], a.Vals[i], 0, "A")
+			i++
+		case a.Addrs[i] > b.Addrs[j]:
+			emit(b.Addrs[j], 0, b.Vals[j], "B")
+			j++
+		default:
+			if a.Vals[i] != b.Vals[j] {
+				emit(a.Addrs[i], a.Vals[i], b.Vals[j], "")
+			}
+			i, j = i+1, j+1
+		}
+	}
+	for ; i < len(a.Addrs); i++ {
+		emit(a.Addrs[i], a.Vals[i], 0, "A")
+	}
+	for ; j < len(b.Addrs); j++ {
+		emit(b.Addrs[j], 0, b.Vals[j], "B")
 	}
 	return out
 }

@@ -10,7 +10,7 @@ import (
 
 // snap builds a snapshot from (block, values) specs.
 func snap(blocks []*mem.Block, words map[uint64]uint64) *mem.Snapshot {
-	return &mem.Snapshot{Blocks: blocks, Words: words}
+	return mem.NewSnapshot(blocks, words)
 }
 
 func blk(base uint64, words int, site string, seq int, kind mem.Kind) *mem.Block {
