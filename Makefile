@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race race-farm bench bench-json bench-smoke build table1 table2 figures everything cover fmt vet lint
+.PHONY: all test race race-farm bench bench-json bench-smoke obs-smoke build table1 table2 figures everything cover fmt vet lint
 
 all: test lint
 
@@ -31,6 +31,12 @@ bench:
 # compiles and runs. This is the CI smoke step — it measures nothing.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Observability smoke gate: boot a real checkd, run one small campaign,
+# scrape /metrics from the live daemon and fail on malformed exposition or
+# missing key series (see cmd/obssmoke).
+obs-smoke:
+	$(GO) run ./cmd/obssmoke
 
 # The tier-1 perf suite, recorded into the repo's benchmark trajectory.
 # BENCH_REGEX picks the benchmarks that gate performance work; BENCHTIME

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	checkd -addr :8347 -store farm.log [-run-workers N] [-job-workers N]
+//	       [-read-timeout D] [-write-timeout D] [-idle-timeout D] [-pprof]
 //
 // The API (see internal/farm):
 //
@@ -17,7 +18,12 @@
 //	GET    /api/v1/jobs/{id}/report  finished campaign's report
 //	GET    /api/v1/jobs/{id}/hashlog per-checkpoint hash stream (text)
 //	POST   /api/v1/compare           diff two hash logs
-//	GET    /healthz                  liveness
+//	GET    /healthz                  liveness + queue summary (JSON)
+//	GET    /metrics                  Prometheus text exposition
+//	GET    /debug/pprof/...          Go profiling (only with -pprof)
+//
+// The HTTP server enforces read, write and idle timeouts (flags above) so
+// a slow or stuck client cannot pin daemon connections indefinitely.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, interrupts
 // running campaigns after their in-flight runs commit, and exits; the
@@ -31,6 +37,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -38,13 +45,57 @@ import (
 	"time"
 
 	"instantcheck/internal/farm"
+	"instantcheck/internal/obs"
 )
+
+// newHTTPServer assembles checkd's HTTP server: the farm API (with metrics
+// and health), optionally the pprof handlers, and the connection timeouts
+// that keep one slow or stuck client from pinning daemon connections.
+// WriteTimeout is left generous on purpose: CPU profiles stream for their
+// requested duration (default 30s) and must fit inside it.
+func newHTTPServer(addr string, api http.Handler, read, write, idle time.Duration, withPprof bool) *http.Server {
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return &http.Server{
+		Addr:         addr,
+		Handler:      mux,
+		ReadTimeout:  read,
+		WriteTimeout: write,
+		IdleTimeout:  idle,
+	}
+}
+
+// registerProcessMetrics adds checkd's process-level gauges to the farm's
+// registry, scraped lazily at /metrics time.
+func registerProcessMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("checkd_goroutines",
+		"Live goroutines in the daemon process.", func() float64 {
+			return float64(runtime.NumGoroutine())
+		})
+	reg.GaugeFunc("checkd_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}
 
 func main() {
 	addr := flag.String("addr", ":8347", "HTTP listen address")
 	storePath := flag.String("store", "checkfarm.log", "path of the persistent hash-log store")
 	runWorkers := flag.Int("run-workers", runtime.GOMAXPROCS(0), "default run-level parallelism for jobs that set none")
 	jobWorkers := flag.Int("job-workers", 1, "campaigns executed concurrently")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration for reading one request")
+	writeTimeout := flag.Duration("write-timeout", 120*time.Second, "max duration for writing one response (covers pprof profiles)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	log.SetPrefix("checkd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -61,12 +112,16 @@ func main() {
 	if n := srv.Resume(); n > 0 {
 		log.Printf("re-queued %d unfinished job(s) from %s", n, *storePath)
 	}
+	registerProcessMetrics(srv.Registry())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv.Start(ctx)
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := newHTTPServer(*addr, srv.Handler(), *readTimeout, *writeTimeout, *idleTimeout, *pprofOn)
+	if *pprofOn {
+		log.Print("pprof enabled at /debug/pprof/")
+	}
 	go func() {
 		<-ctx.Done()
 		log.Print("shutting down")

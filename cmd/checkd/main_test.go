@@ -1,0 +1,81 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestSlowClientTimedOut is the slow-client regression test: the daemon's
+// HTTP server used to be built with no timeouts at all, so a client that
+// opened a connection and stalled mid-request held it forever. With
+// ReadTimeout set, the server must drop the connection.
+func TestSlowClientTimedOut(t *testing.T) {
+	api := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	hs := newHTTPServer("", api, 150*time.Millisecond, time.Second, time.Second, false)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request, then silence: the read deadline must fire.
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: stuck\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	n, err := conn.Read(make([]byte, 1))
+	if err == nil || n != 0 {
+		t.Fatalf("server answered a half-written request (n=%d err=%v)", n, err)
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never closed the stalled connection")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("stalled connection held for %v, want ~ReadTimeout", elapsed)
+	}
+
+	// A well-behaved client on the same server is unaffected.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthy request got HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestPprofOptIn: the profiling endpoints exist only behind the -pprof
+// flag; by default the daemon exposes nothing under /debug/.
+func TestPprofOptIn(t *testing.T) {
+	api := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	})
+	for _, on := range []bool{false, true} {
+		hs := newHTTPServer("", api, time.Second, time.Second, time.Second, on)
+		ts := httptest.NewServer(hs.Handler)
+		resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ts.Close()
+		wantOK := on
+		if gotOK := resp.StatusCode == http.StatusOK; gotOK != wantOK {
+			t.Errorf("pprof=%v: /debug/pprof/cmdline -> HTTP %d", on, resp.StatusCode)
+		}
+	}
+}

@@ -102,7 +102,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: instantcheck <list|check <app>|races <app>|table1|table2|fig5|fig6|fig8|all> [-runs N] [-threads N] [-small] [-seed S] [-input S]
-       instantcheck remote [-server URL] <submit|status|report|jobs|hashlog|compare|cancel> [args]`)
+       instantcheck remote [-server URL] <submit|status|report|jobs|hashlog|compare|cancel|stats> [args]`)
 }
 
 // races runs the §6.1 application: detect data races and classify each

@@ -22,6 +22,7 @@ import (
 //	instantcheck remote [-server URL] hashlog <job>
 //	instantcheck remote [-server URL] compare <job|@file> <job|@file>
 //	instantcheck remote [-server URL] cancel <job>
+//	instantcheck remote [-server URL] stats [-raw]
 func remote(args []string) error {
 	fs := flag.NewFlagSet("remote", flag.ExitOnError)
 	server := fs.String("server", "http://localhost:8347", "checkd base URL")
@@ -38,7 +39,9 @@ verbs:
   hashlog <job>             per-checkpoint hash stream (canonical text form)
   compare <a> <b>           diff two hash logs; each side is a job id or
                             @file with a saved hashlog (e.g. from another host)
-  cancel  <job>             cancel a queued or running job`)
+  cancel  <job>             cancel a queued or running job
+  stats   [-raw]            daemon health and metrics snapshot (-raw dumps
+                            the Prometheus text exposition verbatim)`)
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,6 +132,8 @@ verbs:
 				res.First.Run+1, res.First.Ordinal, res.First.Label, res.First.A, res.First.B)
 		}
 		return nil
+	case "stats":
+		return remoteStats(c, rest, os.Stdout)
 	case "cancel":
 		id, err := one()
 		if err != nil {

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"instantcheck/internal/farm"
+	"instantcheck/internal/obs"
+)
+
+// remoteStats renders a daemon's /healthz and /metrics as a human-readable
+// snapshot: the health summary first, then every counter and gauge, with
+// histogram families folded to count/mean. -raw skips the rendering and
+// dumps the Prometheus exposition verbatim (for piping into other tools).
+func remoteStats(c *farm.Client, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("remote stats", flag.ExitOnError)
+	raw := fs.Bool("raw", false, "dump the raw Prometheus text exposition")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := c.Health()
+	if err != nil {
+		return fmt.Errorf("remote stats: %w", err)
+	}
+	text, err := c.MetricsText()
+	if err != nil {
+		return fmt.Errorf("remote stats: %w", err)
+	}
+	if *raw {
+		fmt.Fprint(w, text)
+		return nil
+	}
+	samples, err := obs.ParseExposition(strings.NewReader(text))
+	if err != nil {
+		return fmt.Errorf("remote stats: daemon served malformed metrics: %w", err)
+	}
+
+	fmt.Fprintf(w, "%s: %s  up %s  %d job(s), %d running, %d queued\nstore %s\n\n",
+		c.BaseURL, h.Status, formatSeconds(h.UptimeSeconds), h.Jobs, h.Running, h.QueueDepth, h.StorePath)
+	printSamples(w, samples)
+	return nil
+}
+
+// formatSeconds renders an uptime without sub-second noise.
+func formatSeconds(s float64) string {
+	sec := int64(s)
+	switch {
+	case sec >= 3600:
+		return fmt.Sprintf("%dh%dm", sec/3600, sec%3600/60)
+	case sec >= 60:
+		return fmt.Sprintf("%dm%ds", sec/60, sec%60)
+	default:
+		return fmt.Sprintf("%ds", sec)
+	}
+}
+
+// printSamples renders parsed exposition samples, one aligned line per
+// series, folding each histogram family into a single count/mean line.
+func printSamples(w io.Writer, samples []obs.Sample) {
+	type histo struct{ sum, count float64 }
+	hists := map[string]*histo{}
+	var lines []string
+	for _, s := range samples {
+		if strings.HasSuffix(s.Name, "_bucket") {
+			continue // the per-bound detail is -raw territory
+		}
+		if base, ok := strings.CutSuffix(s.Name, "_sum"); ok {
+			h := hists[base]
+			if h == nil {
+				h = &histo{}
+				hists[base] = h
+			}
+			h.sum = s.Value
+			continue
+		}
+		if base, ok := strings.CutSuffix(s.Name, "_count"); ok {
+			h := hists[base]
+			if h == nil {
+				h = &histo{}
+				hists[base] = h
+			}
+			h.count = s.Value
+			continue
+		}
+		name := s.Name
+		if len(s.Labels) > 0 {
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			pairs := make([]string, len(keys))
+			for i, k := range keys {
+				pairs[i] = k + "=" + s.Labels[k]
+			}
+			name += "{" + strings.Join(pairs, ",") + "}"
+		}
+		lines = append(lines, fmt.Sprintf("%-58s %s", name, formatMetric(s.Value)))
+	}
+	for base, h := range hists {
+		mean := "-"
+		if h.count > 0 {
+			mean = formatMetric(h.sum / h.count)
+		}
+		lines = append(lines, fmt.Sprintf("%-58s count %s, mean %s", base, formatMetric(h.count), mean))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// formatMetric prints integral values without an exponent and everything
+// else with sensible precision.
+func formatMetric(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"instantcheck/internal/farm"
+)
+
+// statsDaemon fakes the two endpoints remote stats consumes.
+func statsDaemon(t *testing.T, metrics string) *farm.Client {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok","uptime_seconds":75.4,"jobs":2,"running":1,"queue_depth":1,"store_path":"/var/farm.log"}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, metrics)
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return farm.NewClient(hs.URL)
+}
+
+const statsExposition = `# HELP checkfarm_jobs_submitted_total Campaigns accepted.
+# TYPE checkfarm_jobs_submitted_total counter
+checkfarm_jobs_submitted_total 2
+# TYPE instantcheck_stores_total counter
+instantcheck_stores_total{scheme="HW-InstantCheck_Inc"} 4228
+# TYPE checkfarm_run_duration_seconds histogram
+checkfarm_run_duration_seconds_bucket{le="0.01"} 3
+checkfarm_run_duration_seconds_bucket{le="+Inf"} 4
+checkfarm_run_duration_seconds_sum 1
+checkfarm_run_duration_seconds_count 4
+`
+
+// TestRemoteStatsRendering drives the stats verb against a fake daemon and
+// checks the health header, counter lines, label rendering and histogram
+// folding.
+func TestRemoteStatsRendering(t *testing.T) {
+	c := statsDaemon(t, statsExposition)
+	var out bytes.Buffer
+	if err := remoteStats(c, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"ok  up 1m15s  2 job(s), 1 running, 1 queued",
+		"store /var/farm.log",
+		"checkfarm_jobs_submitted_total",
+		"instantcheck_stores_total{scheme=HW-InstantCheck_Inc}",
+		"4228",
+		"checkfarm_run_duration_seconds", "count 4, mean 0.25",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stats output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "_bucket") {
+		t.Errorf("rendered output leaks histogram buckets:\n%s", text)
+	}
+
+	// -raw dumps the exposition untouched.
+	out.Reset()
+	if err := remoteStats(c, []string{"-raw"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != statsExposition {
+		t.Errorf("-raw output differs from served exposition:\n%s", out.String())
+	}
+}
+
+// TestRemoteStatsRejectsMalformed: a daemon serving a broken exposition is
+// reported as such instead of rendered half-parsed.
+func TestRemoteStatsRejectsMalformed(t *testing.T) {
+	c := statsDaemon(t, "what even is this{")
+	if err := remoteStats(c, nil, io.Discard); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("malformed exposition accepted: %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+// Command obssmoke is the observability smoke gate: it launches a real
+// checkd process, drives one small campaign through it, and scrapes
+// /metrics from the live daemon, failing on malformed Prometheus
+// exposition or on missing key series. CI runs it next to the benchmark
+// smoke step (`make obs-smoke`).
+//
+// Usage:
+//
+//	obssmoke [-checkd path/to/checkd] [-keep]
+//
+// Without -checkd the daemon binary is built into a temp directory with
+// the local go toolchain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"instantcheck/internal/farm"
+	"instantcheck/internal/obs"
+)
+
+// requiredSeries are the metric families a post-campaign scrape must carry
+// a sample of: job lifecycle, queue depth, store activity and hash path.
+var requiredSeries = []string{
+	"checkfarm_jobs_submitted_total",
+	"checkfarm_jobs_finished_total",
+	"checkfarm_jobs_running",
+	"checkfarm_queue_depth",
+	"checkfarm_runs_executed_total",
+	"checkfarm_store_appends_total",
+	"checkfarm_store_append_seconds_count",
+	"instantcheck_stores_total",
+	"instantcheck_stores_hashed_total",
+	"instantcheck_checkpoints_total",
+	"instantcheck_fastwindow_misses_total",
+	"checkd_goroutines",
+}
+
+func main() {
+	checkdPath := flag.String("checkd", "", "checkd binary (empty: go build ./cmd/checkd into a temp dir)")
+	keep := flag.Bool("keep", false, "keep the temp store/binary directory for inspection")
+	flag.Parse()
+	log.SetPrefix("obssmoke: ")
+	log.SetFlags(0)
+	if err := run(*checkdPath, *keep); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("PASS")
+}
+
+func run(checkdPath string, keep bool) error {
+	dir, err := os.MkdirTemp("", "obssmoke")
+	if err != nil {
+		return err
+	}
+	if keep {
+		log.Printf("workdir %s", dir)
+	} else {
+		defer os.RemoveAll(dir)
+	}
+
+	if checkdPath == "" {
+		checkdPath = filepath.Join(dir, "checkd")
+		build := exec.Command("go", "build", "-o", checkdPath, "./cmd/checkd")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("build checkd: %w", err)
+		}
+	}
+
+	// A free port for the daemon: bind :0, remember, release.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	daemon := exec.Command(checkdPath,
+		"-addr", addr,
+		"-store", filepath.Join(dir, "farm.log"),
+		"-pprof")
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("start checkd: %w", err)
+	}
+	defer func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		daemon.Wait()
+	}()
+
+	c := farm.NewClient("http://" + addr)
+	if err := waitHealthy(c, 15*time.Second); err != nil {
+		return err
+	}
+
+	// Scrape 1: a fresh daemon already serves a well-formed exposition.
+	if _, err := scrapeAndLint(c); err != nil {
+		return fmt.Errorf("fresh-daemon scrape: %w", err)
+	}
+
+	// Drive one small campaign end to end.
+	job, err := c.Submit(farm.JobSpec{App: "fft", Runs: 4, Threads: 4, Small: true})
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	done, err := c.Wait(ctx, job.ID, 100*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("wait: %w", err)
+	}
+	if done.State != farm.JobDone {
+		return fmt.Errorf("smoke job finished as %s: %s", done.State, done.Error)
+	}
+
+	// Scrape 2: lints clean and carries every required series.
+	samples, err := scrapeAndLint(c)
+	if err != nil {
+		return fmt.Errorf("post-campaign scrape: %w", err)
+	}
+	have := map[string]bool{}
+	for _, s := range samples {
+		have[s.Name] = true
+	}
+	var missing []string
+	for _, name := range requiredSeries {
+		if !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("scrape is missing required series: %s", strings.Join(missing, ", "))
+	}
+	log.Printf("scraped %d samples from live daemon, all %d required series present",
+		len(samples), len(requiredSeries))
+	return nil
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(c *farm.Client, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		h, err := c.Health()
+		if err == nil && h.Status == "ok" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not healthy after %v: %v", timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// scrapeAndLint fetches /metrics and validates the exposition format.
+func scrapeAndLint(c *farm.Client) ([]obs.Sample, error) {
+	text, err := c.MetricsText()
+	if err != nil {
+		return nil, err
+	}
+	if err := obs.Lint(strings.NewReader(text)); err != nil {
+		return nil, fmt.Errorf("malformed exposition: %w", err)
+	}
+	return obs.ParseExposition(strings.NewReader(text))
+}

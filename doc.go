@@ -39,7 +39,14 @@
 //     machinery in-process), an append-only crash-tolerant hash-log
 //     store that resumes half-finished campaigns across restarts, and an
 //     HTTP API — driven by `instantcheck remote` — whose hash-log
-//     streams can be diffed across hosts.
+//     streams can be diffed across hosts;
+//   - an observability layer (internal/obs): stdlib-only counters,
+//     gauges and histograms with a Prometheus text exporter, served by
+//     checkd at /metrics alongside a JSON /healthz and opt-in
+//     net/http/pprof (-pprof). Job lifecycle, queue depth, store fsync
+//     latency and the per-scheme hash path (stores hashed, checkpoints,
+//     traversal sweeps, fast-window hit rate) are all scrapeable;
+//     `instantcheck remote stats` renders a snapshot.
 //
 // Quick start: see examples/quickstart, which checks the paper's Figure 1
 // program — internally nondeterministic, externally deterministic.

@@ -16,7 +16,15 @@ import (
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
+	// WaitErrorLimit is the number of consecutive poll failures Wait
+	// tolerates before giving up (<= 0 selects the default, 8). A daemon
+	// restart mid-campaign makes a few polls fail even though the job will
+	// finish; Wait retries through the gap with capped exponential backoff.
+	WaitErrorLimit int
 }
+
+// defaultWaitErrorLimit is the consecutive-failure budget of Wait.
+const defaultWaitErrorLimit = 8
 
 // NewClient returns a client for the daemon at baseURL.
 func NewClient(baseURL string) *Client {
@@ -134,6 +142,33 @@ func (c *Client) Compare(req CompareRequest) (*CompareResult, error) {
 	return &res, nil
 }
 
+// Health fetches the daemon's /healthz liveness summary.
+func (c *Client) Health() (*Health, error) {
+	var h Health
+	if err := c.do(http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// MetricsText fetches the daemon's /metrics endpoint: the raw Prometheus
+// text exposition (parse with obs.ParseExposition if needed).
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.http().Get(c.BaseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 300 {
+		return "", fmt.Errorf("farm: metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(b), nil
+}
+
 // Cancel cancels a queued or running job; it reports whether the daemon
 // actually canceled it.
 func (c *Client) Cancel(id JobID) (bool, error) {
@@ -147,24 +182,51 @@ func (c *Client) Cancel(id JobID) (bool, error) {
 }
 
 // Wait polls until the job reaches a terminal state or ctx expires.
+//
+// Transient poll errors — connection refused while the daemon restarts, a
+// timeout on a loaded host — do not abort the wait: Wait retries with
+// exponential backoff (starting at the poll interval, capped at 10× or 2s,
+// whichever is larger) and fails only after WaitErrorLimit consecutive
+// errors. A successful poll resets both the error budget and the backoff,
+// so a waiter that rode out a daemon restart resumes tight polling.
 func (c *Client) Wait(ctx context.Context, id JobID, poll time.Duration) (*Job, error) {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
 	}
-	t := time.NewTicker(poll)
-	defer t.Stop()
+	limit := c.WaitErrorLimit
+	if limit <= 0 {
+		limit = defaultWaitErrorLimit
+	}
+	maxDelay := 10 * poll
+	if maxDelay < 2*time.Second {
+		maxDelay = 2 * time.Second
+	}
+	delay := poll
+	errors := 0
 	for {
 		job, err := c.Job(id)
-		if err != nil {
-			return nil, err
-		}
-		if job.State.Terminal() {
+		switch {
+		case err != nil:
+			errors++
+			if errors >= limit {
+				return nil, fmt.Errorf("farm: wait for %s: %d consecutive poll failures: %w", id, errors, err)
+			}
+			delay *= 2
+			if delay > maxDelay {
+				delay = maxDelay
+			}
+		case job.State.Terminal():
 			return job, nil
+		default:
+			errors = 0
+			delay = poll
 		}
+		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
+			timer.Stop()
 			return job, ctx.Err()
-		case <-t.C:
+		case <-timer.C:
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"instantcheck/internal/core"
 	"instantcheck/internal/sim"
@@ -24,8 +25,10 @@ import (
 //
 // onRun is called once per newly executed run, from at most one goroutine
 // at a time per run but concurrently across runs; the store's AppendRun is
-// the intended sink. progress is called after every finished run.
-func runJob(ctx context.Context, spec JobSpec, prior *JobLog,
+// the intended sink. progress is called after every finished run. m (nil
+// allowed) receives per-run hash-path metrics, sharded by run index so the
+// concurrent workers never contend.
+func runJob(ctx context.Context, spec JobSpec, prior *JobLog, m *Metrics,
 	onRun func(run int, res *sim.Result) error,
 	progress func(done, total int)) (*Report, *core.Report, error) {
 
@@ -58,6 +61,9 @@ func runJob(ctx context.Context, spec JobSpec, prior *JobLog,
 			if run < total {
 				results[run] = prior.Run(run).Result()
 				done++
+				if m != nil {
+					m.runsRestored.Inc()
+				}
 			}
 		}
 	}
@@ -65,10 +71,12 @@ func runJob(ctx context.Context, spec JobSpec, prior *JobLog,
 	// Recording run. Even when run 0 was committed before a restart it is
 	// re-executed: the in-memory replay logs exist only as a side effect
 	// of recording, and re-recording is deterministic.
+	recordStart := time.Now()
 	first, err := runner.Record()
 	if err != nil {
 		return nil, nil, err
 	}
+	m.observeRun(camp.Scheme, 0, first, time.Since(recordStart))
 	if results[0] != nil {
 		if err := sameVector(results[0], first); err != nil {
 			return nil, nil, fmt.Errorf("farm: stored hash log disagrees with re-recorded run 1: %w", err)
@@ -114,8 +122,10 @@ func runJob(ctx context.Context, spec JobSpec, prior *JobLog,
 				if ctx.Err() != nil {
 					continue
 				}
+				replayStart := time.Now()
 				res, err := runner.Replay(run)
 				if err == nil {
+					m.observeRun(camp.Scheme, run, res, time.Since(replayStart))
 					err = report(run, res)
 				}
 				mu.Lock()

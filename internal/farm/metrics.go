@@ -1,0 +1,144 @@
+package farm
+
+import (
+	"time"
+
+	"instantcheck/internal/obs"
+	"instantcheck/internal/sim"
+)
+
+// Metrics is the farm's instrument panel: every counter the daemon exports
+// at /metrics. A Server always carries one (the counters are single atomic
+// words, cheap enough to maintain unconditionally); wiring a registry only
+// controls whether they are scrapeable.
+//
+// Two rules keep the PR 3 performance wins intact:
+//
+//   - nothing on the simulator's per-access path touches these metrics. The
+//     hash-path series are flushed once per finished run from the run's
+//     sim.Counters, whose own fast-path accounting is derived (misses
+//     counted on the slow path only, hits by subtraction);
+//   - counters flushed concurrently by run workers are sharded (obs.Sharded
+//     / obs.ShardedCounterVec) and aggregated at scrape time, so a farm at
+//     full parallelism never serializes on a metrics cache line.
+type Metrics struct {
+	// Job lifecycle.
+	jobsSubmitted *obs.Counter
+	jobsResumed   *obs.Counter
+	jobsFinished  *obs.CounterVec // state = done | failed | canceled
+	jobsRunning   *obs.Gauge
+	jobDuration   *obs.Histogram
+
+	// Run execution.
+	runsExecuted *obs.ShardedCounter
+	runsRestored *obs.Counter
+	runDuration  *obs.Histogram
+
+	// Store (append-only hash log).
+	storeAppends     *obs.Counter
+	storeAppendBytes *obs.Counter
+	storeAppendSecs  *obs.Histogram
+	storeErrors      *obs.CounterVec // op = append | jobend
+
+	// Hash path, per scheme (paper names as label values).
+	stores          *obs.CounterVec // sharded
+	storesHashed    *obs.CounterVec // sharded
+	checkpoints     *obs.CounterVec // sharded
+	checkpointWords *obs.CounterVec // sharded
+	fastwinHits     *obs.ShardedCounter
+	fastwinMisses   *obs.ShardedCounter
+	travRunsHashed  *obs.ShardedCounter
+	travSharded     *obs.ShardedCounter
+}
+
+// metricShards is the shard count for counters bumped by concurrent run
+// workers. Runs index into shards by run number, so any parallelism up to
+// this bound is contention-free.
+const metricShards = 32
+
+// newMetrics registers the farm's metric families on reg.
+func newMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		jobsSubmitted: reg.Counter("checkfarm_jobs_submitted_total",
+			"Campaigns accepted by this daemon process."),
+		jobsResumed: reg.Counter("checkfarm_jobs_resumed_total",
+			"Unfinished campaigns re-queued from the store at startup."),
+		jobsFinished: reg.CounterVec("checkfarm_jobs_finished_total",
+			"Jobs reaching a terminal state, by state.", "state"),
+		jobsRunning: reg.Gauge("checkfarm_jobs_running",
+			"Jobs currently executing on the worker pool."),
+		jobDuration: reg.Histogram("checkfarm_job_duration_seconds",
+			"Wall time from job start to terminal state.", nil),
+		runsExecuted: reg.Sharded("checkfarm_runs_executed_total",
+			"Simulated runs executed (including re-recorded run 1 on resume).", metricShards),
+		runsRestored: reg.Counter("checkfarm_runs_restored_total",
+			"Runs resurrected from committed store records instead of re-executing."),
+		runDuration: reg.Histogram("checkfarm_run_duration_seconds",
+			"Wall time of one simulated run.", nil),
+		storeAppends: reg.Counter("checkfarm_store_appends_total",
+			"Record batches appended to the hash-log store."),
+		storeAppendBytes: reg.Counter("checkfarm_store_append_bytes_total",
+			"Bytes appended to the hash-log store."),
+		storeAppendSecs: reg.Histogram("checkfarm_store_append_seconds",
+			"Latency of one durable append (write + flush + fsync).", nil),
+		storeErrors: reg.CounterVec("checkfarm_store_errors_total",
+			"Failed store writes, by operation.", "op"),
+		stores: reg.ShardedCounterVec("instantcheck_stores_total",
+			"Data stores executed by checked runs, by hashing scheme.", "scheme", metricShards),
+		storesHashed: reg.ShardedCounterVec("instantcheck_stores_hashed_total",
+			"Stores hashed on the fly by the incremental schemes.", "scheme", metricShards),
+		checkpoints: reg.ShardedCounterVec("instantcheck_checkpoints_total",
+			"Determinism-checking points captured, by hashing scheme.", "scheme", metricShards),
+		checkpointWords: reg.ShardedCounterVec("instantcheck_checkpoint_words_total",
+			"Live words in the hashed state summed over checkpoints, by scheme.", "scheme", metricShards),
+		fastwinHits: reg.Sharded("instantcheck_fastwindow_hits_total",
+			"Memory accesses resolved by the inline fast window (derived: accesses minus slow-path entries).", metricShards),
+		fastwinMisses: reg.Sharded("instantcheck_fastwindow_misses_total",
+			"Memory accesses that fell through to the slow path.", metricShards),
+		travRunsHashed: reg.Sharded("instantcheck_traverse_runs_hashed_total",
+			"Page-bounded runs hashed by the traversal scheme's checkpoint sweeps.", metricShards),
+		travSharded: reg.Sharded("instantcheck_traverse_sharded_sweeps_total",
+			"Checkpoint sweeps that fanned out across goroutine shards.", metricShards),
+	}
+}
+
+// observeRun flushes one executed run's simulator counters into the hash-
+// path series. shard spreads concurrent flushes (the run index is a natural
+// choice); the scheme's paper name becomes the label value.
+func (m *Metrics) observeRun(scheme sim.Scheme, shard int, res *sim.Result, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.runsExecuted.Add(shard, 1)
+	m.runDuration.Observe(d.Seconds())
+
+	label := scheme.String()
+	c := &res.Counters
+	m.stores.WithSharded(label).Add(shard, c.Stores)
+	m.storesHashed.WithSharded(label).Add(shard, res.MHMStats.HashedStores)
+	m.checkpoints.WithSharded(label).Add(shard, c.Checkpoints)
+	m.checkpointWords.WithSharded(label).Add(shard, c.CheckpointWords)
+
+	accesses := c.Loads + c.Stores
+	misses := c.FastLoadMisses + c.FastStoreMisses
+	m.fastwinMisses.Add(shard, misses)
+	if accesses > misses { // misses include checker-internal zeroing stores
+		m.fastwinHits.Add(shard, accesses-misses)
+	}
+	m.travRunsHashed.Add(shard, c.TraverseRunsHashed)
+	m.travSharded.Add(shard, c.TraverseShardedSweeps)
+}
+
+// storeAppend records one durable append's outcome; the store calls it from
+// under its own lock.
+func (m *Metrics) storeAppend(d time.Duration, bytes int, err error) {
+	if m == nil {
+		return
+	}
+	m.storeAppends.Inc()
+	m.storeAppendBytes.Add(uint64(bytes))
+	m.storeAppendSecs.Observe(d.Seconds())
+	if err != nil {
+		m.storeErrors.With("append").Inc()
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"instantcheck/internal/obs"
 	"instantcheck/internal/sim"
 )
 
@@ -75,8 +76,11 @@ func (o Options) withDefaults() Options {
 // Server is the checkfarm service: queue, worker pool and store glued to
 // an HTTP API. Create with NewServer, then Resume (optional) and Start.
 type Server struct {
-	store *Store
-	opts  Options
+	store   *Store
+	opts    Options
+	reg     *obs.Registry
+	metrics *Metrics
+	started time.Time
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -90,10 +94,32 @@ type Server struct {
 
 // NewServer wraps a store in a service.
 func NewServer(store *Store, opts Options) *Server {
-	s := &Server{store: store, opts: opts.withDefaults(), jobs: make(map[JobID]*Job)}
+	s := &Server{
+		store:   store,
+		opts:    opts.withDefaults(),
+		jobs:    make(map[JobID]*Job),
+		reg:     obs.NewRegistry(),
+		started: time.Now(),
+	}
+	s.metrics = newMetrics(s.reg)
+	store.setMetrics(s.metrics)
+	s.reg.GaugeFunc("checkfarm_queue_depth",
+		"Jobs queued and awaiting a worker.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.pending))
+		})
+	s.reg.GaugeFunc("checkfarm_uptime_seconds",
+		"Seconds since this server was created.", func() float64 {
+			return time.Since(s.started).Seconds()
+		})
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
+
+// Registry returns the server's metric registry, the one Handler serves at
+// /metrics. The daemon adds its process-level gauges here.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Resume reloads jobs from the store: finished jobs reappear with their
 // reports assembled from the hash log, and jobs the previous daemon never
@@ -134,6 +160,7 @@ func (s *Server) Resume() int {
 		}
 		s.mu.Unlock()
 		if job.State == JobQueued {
+			s.metrics.jobsResumed.Inc()
 			s.opts.Logf("farm: resuming job %s (%s, %d runs committed)", job.ID, job.Spec.App, job.RunsDone)
 		}
 	}
@@ -201,9 +228,12 @@ func (s *Server) execute(ctx context.Context, job *Job) {
 	s.mu.Unlock()
 	defer cancel()
 	s.opts.Logf("farm: job %s running (%s)", job.ID, spec.App)
+	s.metrics.jobsRunning.Inc()
+	defer s.metrics.jobsRunning.Dec()
+	begun := time.Now()
 
 	prior := s.store.Job(job.ID)
-	rep, _, err := runJob(jobCtx, spec, prior,
+	rep, _, err := runJob(jobCtx, spec, prior, s.metrics,
 		func(run int, res *sim.Result) error { return s.store.AppendRun(job.ID, run, res) },
 		func(done, total int) {
 			s.mu.Lock()
@@ -233,9 +263,23 @@ func (s *Server) execute(ctx context.Context, job *Job) {
 	default:
 		state, msg = JobFailed, err.Error()
 	}
-	if endErr := s.store.EndJob(job.ID, string(state), msg); endErr != nil && state == JobDone {
-		state, msg = JobFailed, "store: "+endErr.Error()
+	if endErr := s.store.EndJob(job.ID, string(state), msg); endErr != nil {
+		// A terminal state the store did not record is never dropped: the
+		// in-memory job would say "canceled" or "failed" while the log says
+		// "unfinished", and the next daemon would silently resurrect the
+		// job. Log it and surface it on the job for every terminal state.
+		s.metrics.storeErrors.With("jobend").Inc()
+		s.opts.Logf("farm: job %s: recording terminal state %q failed: %v", job.ID, state, endErr)
+		if state == JobDone {
+			state = JobFailed
+		}
+		if msg != "" {
+			msg += "; "
+		}
+		msg += "store: jobend not recorded: " + endErr.Error()
 	}
+	s.metrics.jobsFinished.With(string(state)).Inc()
+	s.metrics.jobDuration.Observe(time.Since(begun).Seconds())
 	s.mu.Lock()
 	job.State = state
 	job.Error = msg
@@ -267,6 +311,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	snapshot := *job
 	s.mu.Unlock()
 	s.cond.Signal()
+	s.metrics.jobsSubmitted.Inc()
 	s.opts.Logf("farm: job %s queued (%s)", id, spec.App)
 	return &snapshot, nil
 }
@@ -323,7 +368,16 @@ func (s *Server) Cancel(id JobID) bool {
 		job.State = JobCanceled
 		job.Finished = time.Now()
 		s.mu.Unlock()
-		s.store.EndJob(id, "canceled", "")
+		if err := s.store.EndJob(id, "canceled", ""); err != nil {
+			// Same crash-consistency rule as in execute: an unrecorded
+			// cancellation silently resurrects after a restart.
+			s.metrics.storeErrors.With("jobend").Inc()
+			s.opts.Logf("farm: job %s: recording cancellation failed: %v", id, err)
+			s.mu.Lock()
+			job.Error = "store: jobend not recorded: " + err.Error()
+			s.mu.Unlock()
+		}
+		s.metrics.jobsFinished.With(string(JobCanceled)).Inc()
 		s.opts.Logf("farm: job %s canceled while queued", id)
 		return true
 	}
@@ -334,6 +388,37 @@ func (s *Server) Cancel(id JobID) bool {
 	}
 	s.opts.Logf("farm: job %s cancel requested", id)
 	return true
+}
+
+// Health is the /healthz payload: enough to tell at a glance whether the
+// daemon is alive and keeping up with its queue.
+type Health struct {
+	Status        string  `json:"status"` // always "ok" when served
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Jobs          int     `json:"jobs"`
+	Running       int     `json:"running"`
+	QueueDepth    int     `json:"queue_depth"`
+	StorePath     string  `json:"store_path"`
+}
+
+// Health reports the server's liveness summary.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	running := 0
+	for _, job := range s.jobs {
+		if job.State == JobRunning {
+			running++
+		}
+	}
+	return Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Jobs:          len(s.jobs),
+		Running:       running,
+		QueueDepth:    len(s.pending),
+		StorePath:     s.store.Path(),
+	}
 }
 
 // ---- HTTP API ----
@@ -357,12 +442,14 @@ type CompareRequest struct {
 //	GET    /api/v1/jobs/{id}/report    finished job's report
 //	GET    /api/v1/jobs/{id}/hashlog   per-checkpoint hash stream (text)
 //	POST   /api/v1/compare        diff two hash logs (CompareRequest)
-//	GET    /healthz               liveness
+//	GET    /healthz               liveness + queue summary (JSON)
+//	GET    /metrics               Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		writeJSON(w, http.StatusOK, s.Health())
 	})
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {

@@ -72,7 +72,7 @@ func TestServerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := runJob(context.Background(), spec, nil, nil, nil)
+	want, _, err := runJob(context.Background(), spec, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

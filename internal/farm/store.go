@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"instantcheck/internal/ihash"
 	"instantcheck/internal/sim"
@@ -123,13 +124,22 @@ func (rl *RunLog) Result() *sim.Result {
 // Store is the append-only hash-log store plus its in-memory index. All
 // methods are safe for concurrent use.
 type Store struct {
-	mu    sync.Mutex
-	path  string
-	f     *os.File
-	w     *bufio.Writer
-	jobs  map[JobID]*JobLog
-	order []JobID
-	maxID int
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	jobs    map[JobID]*JobLog
+	order   []JobID
+	maxID   int
+	metrics *Metrics
+}
+
+// setMetrics attaches the farm's metrics so append latency and volume are
+// observable. Nil is fine (standalone stores in tests stay uninstrumented).
+func (s *Store) setMetrics(m *Metrics) {
+	s.mu.Lock()
+	s.metrics = m
+	s.mu.Unlock()
 }
 
 // OpenStore opens (creating if needed) the store at path and rebuilds the
@@ -305,13 +315,18 @@ func (s *Store) indexLine(line string) {
 // appendLine writes one line and syncs it to disk. Every record is
 // durable before the call returns: a crash never loses a committed run.
 func (s *Store) appendLine(line string) error {
-	if _, err := s.w.WriteString(line + "\n"); err != nil {
-		return err
-	}
-	if err := s.w.Flush(); err != nil {
-		return err
-	}
-	return s.f.Sync()
+	start := time.Now()
+	err := func() error {
+		if _, err := s.w.WriteString(line + "\n"); err != nil {
+			return err
+		}
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+		return s.f.Sync()
+	}()
+	s.metrics.storeAppend(time.Since(start), len(line)+1, err)
+	return err
 }
 
 // NextID allocates the next job identifier.

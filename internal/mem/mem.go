@@ -173,6 +173,16 @@ type Memory struct {
 	fastLen  uint64
 	fastWin  unsafe.Pointer
 
+	// fastLoadMiss and fastStoreMiss count slow-path resolutions: accesses
+	// that fell through the fast window into loadSlow/storeSlow (including
+	// checker-internal stores such as the zeroing on free). They exist for
+	// the observability layer's fast-window hit-rate metric and are plain
+	// fields deliberately: the window-hit path itself carries no counting,
+	// so enabling metrics costs the fast path nothing — hits are derived at
+	// flush time as total accesses minus misses.
+	fastLoadMiss  uint64
+	fastStoreMiss uint64
+
 	staticNext uint64
 	heapNext   uint64
 
@@ -308,6 +318,7 @@ func (m *Memory) LoadFast(addr uint64) (uint64, bool) {
 }
 
 func (m *Memory) loadSlow(addr uint64) uint64 {
+	m.fastLoadMiss++
 	m.checkLive(addr, "load")
 	v := m.loadRaw(addr)
 	if m.cachePage != nil && addr-m.cachePageBase < pageBytes {
@@ -346,6 +357,7 @@ func (m *Memory) StoreFast(addr, value uint64) (old uint64, ok bool) {
 }
 
 func (m *Memory) storeSlow(addr, value uint64) (old uint64) {
+	m.fastStoreMiss++
 	m.checkLive(addr, "store")
 	p := m.pageForStore(addr)
 	i := (addr % pageBytes) / WordSize
@@ -428,6 +440,14 @@ func (m *Memory) LiveWords() int { return m.liveWords }
 
 // StaticWords returns the size of the static segment in words.
 func (m *Memory) StaticWords() int { return m.staticWords }
+
+// FastPathStats returns the slow-path resolution counts: loads and stores
+// that missed the fast window. Together with the caller's total access
+// counts these yield the fast-window hit rate; the fast path itself does
+// no counting (see the field comments).
+func (m *Memory) FastPathStats() (loadMisses, storeMisses uint64) {
+	return m.fastLoadMiss, m.fastStoreMiss
+}
 
 // Traverse visits every word of the hashed state (static segment plus live
 // heap blocks) in ascending address order, calling fn(addr, value, kind).
@@ -555,17 +575,6 @@ func (s *Snapshot) Word(addr uint64) (uint64, bool) {
 		return s.Vals[lo], true
 	}
 	return 0, false
-}
-
-// WordsMap materializes the snapshot's words as an address->value map, for
-// callers that want the old representation. It allocates; hot paths should
-// use Word or iterate Addrs/Vals directly.
-func (s *Snapshot) WordsMap() map[uint64]uint64 {
-	out := make(map[uint64]uint64, len(s.Addrs))
-	for i, addr := range s.Addrs {
-		out[addr] = s.Vals[i]
-	}
-	return out
 }
 
 // BlockAt returns the snapshot block containing addr, or nil.

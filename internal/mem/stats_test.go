@@ -1,0 +1,42 @@
+package mem
+
+import "testing"
+
+// TestFastPathStats pins the slow-path counting contract: misses are
+// counted only when an access falls through the fast window, so the
+// fast-window hit rate can be derived without any fast-path counting.
+func TestFastPathStats(t *testing.T) {
+	m := New()
+	base := m.AllocStatic("g", 4, KindWord)
+
+	if l, s := m.FastPathStats(); l != 0 || s != 0 {
+		t.Fatalf("fresh memory stats = %d/%d", l, s)
+	}
+	// First store: no window yet, one store miss.
+	m.Store(base, 1)
+	if l, s := m.FastPathStats(); l != 0 || s != 1 {
+		t.Fatalf("after first store: %d/%d, want 0/1", l, s)
+	}
+	// Subsequent accesses inside the window are hits: no new misses.
+	for i := 0; i < 10; i++ {
+		m.Store(base+8, uint64(i))
+		if v := m.Load(base); v != 1 {
+			t.Fatalf("load = %d", v)
+		}
+	}
+	if l, s := m.FastPathStats(); l != 0 || s != 1 {
+		t.Fatalf("window hits counted as misses: %d/%d, want 0/1", l, s)
+	}
+	// An access outside the window re-resolves: one more miss.
+	other := m.AllocStatic("h", 4, KindWord)
+	m.Store(other, 9)
+	if _, s := m.FastPathStats(); s != 2 {
+		t.Fatalf("store misses = %d, want 2", s)
+	}
+	// A load far from the store window misses the load path once.
+	m.Store(base, 5) // move window back
+	_ = m.Load(other)
+	if l, _ := m.FastPathStats(); l != 1 {
+		t.Fatalf("load misses = %d, want 1", l)
+	}
+}

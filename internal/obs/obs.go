@@ -1,0 +1,341 @@
+// Package obs is the reproduction's observability layer: a small,
+// stdlib-only metrics registry with atomic counters, gauges and histograms
+// and a Prometheus text-exposition exporter. The checkfarm daemon mounts a
+// registry at /metrics so that a long-running determinism-checking service
+// is not a black box: job lifecycle, queue depth, store latencies and the
+// hash-path counters of the simulator are all scrapeable.
+//
+// Design constraints, in order:
+//
+//   - zero dependencies: the repo's no-third-party-code rule applies, so the
+//     exposition format is written (and linted) by hand;
+//   - no hot-path cost: the simulator's load/store fast path must not gain a
+//     single instruction. Per-event counters are therefore accumulated in the
+//     simulator's existing plain (single-threaded) counters and flushed into
+//     the registry once per run; counters that concurrent run workers bump
+//     are sharded across padded cells and aggregated only at scrape time;
+//   - scrape-time aggregation: Value() and WritePrometheus fold shards and
+//     compute derived series, so readers pay, writers don't.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// cell is one shard of a ShardedCounter, padded to its own cache line so
+// concurrent writers on different shards never false-share.
+type cell struct {
+	n atomic.Uint64
+	_ [7]uint64
+}
+
+// ShardedCounter is a counter for write paths hot enough that a single
+// atomic would bounce a cache line between workers. Each writer owns a
+// shard (any int hint — a worker index, a run index — is masked into
+// range); Value aggregates the shards at read time.
+type ShardedCounter struct {
+	cells []cell
+	mask  int
+}
+
+// newSharded returns a counter with at least shards cells (rounded up to a
+// power of two so Add can mask instead of mod).
+func newSharded(shards int) *ShardedCounter {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &ShardedCounter{cells: make([]cell, n), mask: n - 1}
+}
+
+// Add adds n to the shard selected by hint.
+func (s *ShardedCounter) Add(hint int, n uint64) {
+	s.cells[hint&s.mask].n.Add(n)
+}
+
+// Value sums all shards.
+func (s *ShardedCounter) Value() uint64 {
+	var total uint64
+	for i := range s.cells {
+		total += s.cells[i].n.Load()
+	}
+	return total
+}
+
+// Histogram counts observations into fixed buckets, Prometheus-style:
+// cumulative bucket counts plus a running sum. Observe is lock-free.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implied
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// DurationBuckets is the default bucket layout for latencies in seconds,
+// spanning 10µs to 10s.
+var DurationBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// kind is the exposition TYPE of a family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// series is one labeled time series within a family. read returns the
+// current value; hist is set instead for histogram series.
+type series struct {
+	labels string // rendered `{k="v"}` suffix, "" for unlabeled
+	read   func() float64
+	hist   *Histogram
+}
+
+// family is one registered metric name with its help text and series.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	mu     sync.Mutex
+	series []*series
+}
+
+// Registry holds named metric families and renders them in the Prometheus
+// text exposition format. All registration methods panic on an invalid or
+// duplicate name: metrics are wired at startup, and a misnamed metric is a
+// programming error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var (
+	metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// newFamily registers a family, panicking on invalid or duplicate names.
+func (r *Registry) newFamily(name, help string, k kind) *family {
+	if !metricName.MatchString(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	f := &family{name: name, help: help, kind: k}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) add(s *series) {
+	f.mu.Lock()
+	f.series = append(f.series, s)
+	f.mu.Unlock()
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	f := r.newFamily(name, help, kindCounter)
+	f.add(&series{read: func() float64 { return float64(c.Value()) }})
+	return c
+}
+
+// Sharded registers and returns a sharded counter with at least shards
+// cells; shards <= 0 selects a single cell.
+func (r *Registry) Sharded(name, help string, shards int) *ShardedCounter {
+	if shards <= 0 {
+		shards = 1
+	}
+	s := newSharded(shards)
+	f := r.newFamily(name, help, kindCounter)
+	f.add(&series{read: func() float64 { return float64(s.Value()) }})
+	return s
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	f := r.newFamily(name, help, kindGauge)
+	f.add(&series{read: func() float64 { return float64(g.Value()) }})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time. fn
+// must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.newFamily(name, help, kindGauge)
+	f.add(&series{read: fn})
+}
+
+// Histogram registers and returns a histogram with the given bucket upper
+// bounds (ascending; +Inf is implicit). Nil selects DurationBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	h := newHistogram(bounds)
+	f := r.newFamily(name, help, kindHistogram)
+	f.add(&series{hist: h})
+	return h
+}
+
+// CounterVec is a family of counters distinguished by one label.
+type CounterVec struct {
+	f     *family
+	label string
+
+	mu      sync.Mutex
+	byValue map[string]*Counter
+	sharded map[string]*ShardedCounter
+	shards  int
+}
+
+// CounterVec registers a counter family partitioned by the given label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if !labelName.MatchString(label) {
+		panic("obs: invalid label name " + label)
+	}
+	return &CounterVec{
+		f:       r.newFamily(name, help, kindCounter),
+		label:   label,
+		byValue: make(map[string]*Counter),
+		sharded: make(map[string]*ShardedCounter),
+	}
+}
+
+// ShardedCounterVec registers a counter family partitioned by the given
+// label whose per-value counters are sharded across at least shards cells.
+func (r *Registry) ShardedCounterVec(name, help, label string, shards int) *CounterVec {
+	v := r.CounterVec(name, help, label)
+	if shards <= 0 {
+		shards = 1
+	}
+	v.shards = shards
+	return v
+}
+
+// With returns the counter for the given label value, creating it on first
+// use. The returned counter is cached; hot callers should hold on to it.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.byValue[value]
+	if c == nil {
+		c = &Counter{}
+		v.byValue[value] = c
+		v.f.add(&series{
+			labels: renderLabels(v.label, value),
+			read:   func() float64 { return float64(c.Value()) },
+		})
+	}
+	return c
+}
+
+// WithSharded returns the sharded counter for the given label value (only
+// on vecs created with ShardedCounterVec).
+func (v *CounterVec) WithSharded(value string) *ShardedCounter {
+	if v.shards == 0 {
+		panic("obs: WithSharded on a non-sharded CounterVec")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := v.sharded[value]
+	if s == nil {
+		s = newSharded(v.shards)
+		v.sharded[value] = s
+		v.f.add(&series{
+			labels: renderLabels(v.label, value),
+			read:   func() float64 { return float64(s.Value()) },
+		})
+	}
+	return s
+}
+
+// renderLabels formats a single-label suffix with exposition escaping.
+func renderLabels(name, value string) string {
+	return fmt.Sprintf("{%s=%q}", name, value)
+}

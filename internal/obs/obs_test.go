@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionRoundTrip registers one of everything, scrapes it, parses
+// the payload back and checks values and lint-cleanliness.
+func TestExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_events_total", "events seen")
+	c.Add(41)
+	c.Inc()
+	g := reg.Gauge("test_depth", "queue depth")
+	g.Set(7)
+	g.Dec()
+	reg.GaugeFunc("test_uptime_seconds", "uptime", func() float64 { return 1.5 })
+	v := reg.CounterVec("test_jobs_total", "jobs by state", "state")
+	v.With("done").Add(3)
+	v.With("failed").Inc()
+	v.With(`we"ird\state`).Inc()
+	sc := reg.Sharded("test_stores_total", "sharded stores", 8)
+	sc.Add(0, 10)
+	sc.Add(3, 5)
+	sc.Add(11, 1) // wraps into range via mask
+	h := reg.Histogram("test_latency_seconds", "latencies", []float64{0.01, 0.1, 1})
+	for _, x := range []float64{0.001, 0.05, 0.05, 0.5, 5} {
+		h.Observe(x)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("self-emitted exposition fails lint: %v\n%s", err, text)
+	}
+	samples, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	byID := map[string]float64{}
+	for _, s := range samples {
+		byID[sampleID(s)] = s.Value
+	}
+	want := map[string]float64{
+		"test_events_total":                    42,
+		"test_depth":                           6,
+		"test_uptime_seconds":                  1.5,
+		"test_jobs_total|state=done":           3,
+		"test_jobs_total|state=failed":         1,
+		"test_jobs_total|state=we\"ird\\state": 1,
+		"test_stores_total":                    16,
+		"test_latency_seconds_bucket|le=0.01":  1,
+		"test_latency_seconds_bucket|le=0.1":   3,
+		"test_latency_seconds_bucket|le=1":     4,
+		"test_latency_seconds_bucket|le=+Inf":  5,
+		"test_latency_seconds_count":           5,
+	}
+	for id, val := range want {
+		got, ok := byID[id]
+		if !ok {
+			t.Errorf("sample %s missing from exposition:\n%s", id, text)
+		} else if got != val {
+			t.Errorf("sample %s = %v, want %v", id, got, val)
+		}
+	}
+	if sum := byID["test_latency_seconds_sum"]; math.Abs(sum-5.601) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 5.601", sum)
+	}
+}
+
+// TestHandler scrapes over HTTP like the daemon's /metrics endpoint.
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_total", "help").Inc()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if err := Lint(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentWriters hammers every metric type from many goroutines;
+// run under -race this pins the lock-free paths, and the totals must come
+// out exact.
+func TestConcurrentWriters(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	g := reg.Gauge("g", "")
+	sc := reg.Sharded("s_total", "", 16)
+	h := reg.Histogram("h_seconds", "", []float64{1})
+	v := reg.CounterVec("v_total", "", "k")
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				sc.Add(w, 2)
+				h.Observe(0.5)
+				v.With("x").Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent scrapes while writers run
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			reg.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if sc.Value() != workers*per*2 {
+		t.Errorf("sharded = %d", sc.Value())
+	}
+	if h.Count() != workers*per || h.Sum() != workers*per*0.5 {
+		t.Errorf("histogram = %d / %v", h.Count(), h.Sum())
+	}
+	if v.With("x").Value() != workers*per {
+		t.Errorf("vec = %d", v.With("x").Value())
+	}
+}
+
+// TestLintRejectsMalformed feeds the gate the payloads it exists to catch.
+func TestLintRejectsMalformed(t *testing.T) {
+	bad := map[string]string{
+		"no type":        "orphan_total 1\n",
+		"bad value":      "# TYPE x counter\nx one\n",
+		"bad name":       "# TYPE 9x counter\n9x 1\n",
+		"dup sample":     "# TYPE x counter\nx 1\nx 2\n",
+		"dup type":       "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"unquoted label": "# TYPE x counter\nx{k=v} 1\n",
+		"torn labels":    "# TYPE x counter\nx{k=\"v\" 1\n",
+		"empty payload":  "# TYPE x counter\n",
+		"non-cumulative histogram": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+	}
+	for name, payload := range bad {
+		if err := Lint(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: lint accepted malformed payload:\n%s", name, payload)
+		}
+	}
+	good := "# HELP ok_total fine\n# TYPE ok_total counter\nok_total{a=\"b\",c=\"d\"} 12 1700000000\n"
+	if err := Lint(strings.NewReader(good)); err != nil {
+		t.Errorf("lint rejected valid payload: %v", err)
+	}
+}

@@ -168,6 +168,7 @@ func (m *Machine) Run(p Program) (*Result, error) {
 	if err := m.capture("end"); err != nil {
 		return nil, err
 	}
+	m.counters.FastLoadMisses, m.counters.FastStoreMisses = m.Mem.FastPathStats()
 	res := &Result{
 		Checkpoints:    m.checkpoints,
 		Counters:       m.counters,
@@ -306,6 +307,7 @@ func (m *Machine) traverseHash() ihash.Digest {
 		total += len(words)
 	})
 	m.travRuns = runs
+	m.counters.TraverseRunsHashed += uint64(len(runs))
 
 	shards := m.cfg.TraverseShards
 	if shards == 0 && total >= parallelTraverseWords {
@@ -321,6 +323,7 @@ func (m *Machine) traverseHash() ihash.Digest {
 	if shards > len(runs) {
 		shards = len(runs)
 	}
+	m.counters.TraverseShardedSweeps++
 	parts := make([]ihash.Digest, shards)
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {

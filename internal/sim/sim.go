@@ -225,6 +225,28 @@ type Counters struct {
 	Allocs uint64
 	// Frees counts dynamic free events.
 	Frees uint64
+
+	// The remaining fields are observability counters for the checkfarm's
+	// metrics layer, not part of the Figure 6 cost model. They are filled
+	// off the hot path: the fast-window numbers are copied from the memory
+	// engine once at run end, and the traversal numbers are bumped once per
+	// checkpoint sweep.
+
+	// FastLoadMisses and FastStoreMisses count accesses that fell through
+	// the memory engine's inline fast window into the slow path (store
+	// misses include checker-internal zeroing on free). Fast-window hits
+	// are derived as Loads+Stores minus misses; the hit path itself does
+	// no counting.
+	FastLoadMisses  uint64
+	FastStoreMisses uint64
+	// TraverseRunsHashed counts the page-bounded runs the traversal scheme
+	// actually hashed across all checkpoints (zero runs that cancel via
+	// Σh(a,0) are excluded).
+	TraverseRunsHashed uint64
+	// TraverseShardedSweeps counts checkpoint sweeps that fanned out across
+	// goroutine shards; sequential sweeps are Checkpoints minus this (for
+	// the traversal scheme).
+	TraverseShardedSweeps uint64
 }
 
 // OutputStream is one file descriptor's hashed output (§4.3).
