@@ -38,17 +38,27 @@ bench-smoke:
 obs-smoke:
 	$(GO) run ./cmd/obssmoke
 
-# The tier-1 perf suite, recorded into the repo's benchmark trajectory.
-# BENCH_REGEX picks the benchmarks that gate performance work; BENCHTIME
-# trades runtime for stability. Results land in the "after" section of
-# $(BENCH_OUT); a pre-change binary's numbers can be recorded with
-#   <old-binary> -test.bench=... | go run ./cmd/benchjson -out $(BENCH_OUT) -section baseline
-BENCH_OUT   ?= BENCH_3.json
-BENCHTIME   ?= 20x
-BENCH_REGEX ?= SchemeAblation|CheckApp|FarmThroughput|MemStoreLoad|AllocFree|TraverseHash|ZeroSumCache|WriteBatch|HashWord|AccumulatorWrite
+# The tier-1 perf suite, recorded into the repo's benchmark trajectory as an
+# interleaved A/B over the traversal delta cache: each round runs the whole
+# suite once with ICHECK_TRAVERSE_DELTA=off (the pre-delta full sweep —
+# "baseline") and once with the default delta mode ("after"), so both
+# sections sample the same machine conditions round by round. benchjson
+# averages a section's repeated rounds; BENCHTIME stays small because the
+# rounds are the averaging.
+BENCH_OUT    ?= BENCH_5.json
+BENCHTIME    ?= 2x
+BENCH_ROUNDS ?= 3
+BENCH_REGEX  ?= SchemeAblation|CheckApp|FarmThroughput|MemStoreLoad|AllocFree|TraverseHash|ZeroSumCache|WriteBatch|HashWord|AccumulatorWrite
+BENCH_PKGS   = . ./internal/mem ./internal/sim ./internal/ihash
 bench-json:
-	$(GO) test -run=NONE -bench='$(BENCH_REGEX)' -benchmem -benchtime=$(BENCHTIME) . ./internal/mem ./internal/sim ./internal/ihash \
-		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section after -note "make bench-json, benchtime=$(BENCHTIME)"
+	@rm -f $(BENCH_OUT).base.tmp $(BENCH_OUT).after.tmp
+	for r in $$(seq $(BENCH_ROUNDS)); do \
+		ICHECK_TRAVERSE_DELTA=off $(GO) test -run=NONE -bench='$(BENCH_REGEX)' -benchmem -benchtime=$(BENCHTIME) $(BENCH_PKGS) >> $(BENCH_OUT).base.tmp || exit 1; \
+		$(GO) test -run=NONE -bench='$(BENCH_REGEX)' -benchmem -benchtime=$(BENCHTIME) $(BENCH_PKGS) >> $(BENCH_OUT).after.tmp || exit 1; \
+	done
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section baseline -note "make bench-json, delta off, benchtime=$(BENCHTIME), rounds=$(BENCH_ROUNDS)" < $(BENCH_OUT).base.tmp
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section after -note "make bench-json, delta auto, benchtime=$(BENCHTIME), rounds=$(BENCH_ROUNDS)" < $(BENCH_OUT).after.tmp
+	@rm -f $(BENCH_OUT).base.tmp $(BENCH_OUT).after.tmp
 
 table1:
 	$(GO) run ./cmd/instantcheck table1

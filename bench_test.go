@@ -2,6 +2,7 @@ package instantcheck
 
 import (
 	"fmt"
+	"os"
 	"testing"
 )
 
@@ -131,6 +132,34 @@ func BenchmarkCheckApp(b *testing.B) {
 		b.Run(app.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				camp := Campaign{Runs: 30, Threads: 8, RoundFP: app.UsesFP, Ignore: app.IgnoreSet()}
+				if _, err := Check(camp, app.Builder(WorkloadOptions{})); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckAppTr measures one full checking campaign (30 runs) per
+// workload under SW-InstantCheck_Tr, the scheme whose checkpoint sweeps
+// dirty-page delta hashing accelerates. Setting ICHECK_TRAVERSE_DELTA=off
+// pins every checkpoint to the pre-delta full sweep; because the benchmark
+// names stay identical, the two settings feed benchjson's interleaved-A/B
+// sections directly (see make bench-json).
+func BenchmarkCheckAppTr(b *testing.B) {
+	mode := TraverseDeltaAuto
+	if os.Getenv("ICHECK_TRAVERSE_DELTA") == "off" {
+		mode = TraverseDeltaOff
+	}
+	for _, app := range Workloads() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				camp := Campaign{
+					Runs: 30, Threads: 8, Scheme: SWTr,
+					RoundFP: app.UsesFP, Ignore: app.IgnoreSet(),
+					TraverseDelta: mode,
+				}
 				if _, err := Check(camp, app.Builder(WorkloadOptions{})); err != nil {
 					b.Fatal(err)
 				}

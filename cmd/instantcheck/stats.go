@@ -38,10 +38,35 @@ func remoteStats(c *farm.Client, args []string, w io.Writer) error {
 		return fmt.Errorf("remote stats: daemon served malformed metrics: %w", err)
 	}
 
-	fmt.Fprintf(w, "%s: %s  up %s  %d job(s), %d running, %d queued\nstore %s\n\n",
+	fmt.Fprintf(w, "%s: %s  up %s  %d job(s), %d running, %d queued\nstore %s\n",
 		c.BaseURL, h.Status, formatSeconds(h.UptimeSeconds), h.Jobs, h.Running, h.QueueDepth, h.StorePath)
+	if line := deltaRatioLine(samples); line != "" {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintln(w)
 	printSamples(w, samples)
 	return nil
+}
+
+// deltaRatioLine summarizes the dirty-page delta hasher's effectiveness:
+// what fraction of the live state delta checkpoints actually rehashed,
+// against the volume full sweeps would have visited. Empty when the daemon
+// has run no delta checkpoints yet.
+func deltaRatioLine(samples []obs.Sample) string {
+	var dirty, live float64
+	for _, s := range samples {
+		switch s.Name {
+		case "instantcheck_traverse_dirty_pages_total":
+			dirty = s.Value
+		case "instantcheck_traverse_live_pages_total":
+			live = s.Value
+		}
+	}
+	if live <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("traverse delta: %s of %s live pages rehashed (%.1f%% dirty)",
+		formatMetric(dirty), formatMetric(live), 100*dirty/live)
 }
 
 // formatSeconds renders an uptime without sub-second noise.

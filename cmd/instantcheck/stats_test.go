@@ -32,6 +32,10 @@ const statsExposition = `# HELP checkfarm_jobs_submitted_total Campaigns accepte
 checkfarm_jobs_submitted_total 2
 # TYPE instantcheck_stores_total counter
 instantcheck_stores_total{scheme="HW-InstantCheck_Inc"} 4228
+# TYPE instantcheck_traverse_dirty_pages_total counter
+instantcheck_traverse_dirty_pages_total 150
+# TYPE instantcheck_traverse_live_pages_total counter
+instantcheck_traverse_live_pages_total 4000
 # TYPE checkfarm_run_duration_seconds histogram
 checkfarm_run_duration_seconds_bucket{le="0.01"} 3
 checkfarm_run_duration_seconds_bucket{le="+Inf"} 4
@@ -56,6 +60,7 @@ func TestRemoteStatsRendering(t *testing.T) {
 		"instantcheck_stores_total{scheme=HW-InstantCheck_Inc}",
 		"4228",
 		"checkfarm_run_duration_seconds", "count 4, mean 0.25",
+		"traverse delta: 150 of 4000 live pages rehashed (3.8% dirty)",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("stats output missing %q:\n%s", want, text)

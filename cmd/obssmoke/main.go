@@ -43,6 +43,8 @@ var requiredSeries = []string{
 	"instantcheck_stores_hashed_total",
 	"instantcheck_checkpoints_total",
 	"instantcheck_fastwindow_misses_total",
+	"instantcheck_traverse_delta_sweeps_total",
+	"instantcheck_traverse_dirty_pages_total",
 	"checkd_goroutines",
 }
 

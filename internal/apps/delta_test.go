@@ -1,0 +1,80 @@
+package apps
+
+import (
+	"reflect"
+	"testing"
+
+	"instantcheck/internal/core"
+	"instantcheck/internal/sim"
+)
+
+// TestDeltaTraversalMatchesSequential runs every workload's checking
+// campaign under the traversal scheme twice — dirty-page delta hashing vs
+// full sweeps at every checkpoint — and requires byte-identical reports:
+// the same raw and ignore-adjusted State Hash at every checkpoint of every
+// run, the same distributions, the same verdicts. This is the delta
+// hasher's end-to-end correctness contract (the digests must be
+// bit-identical, not merely verdict-equivalent), checked across all 17
+// apps' allocation, free, FP-rounding, and ignore-set behavior.
+func TestDeltaTraversalMatchesSequential(t *testing.T) {
+	for _, app := range Registry() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			opts := testOptions()
+			camp := testCampaign()
+			camp.Runs = 4
+			camp.Scheme = sim.SWTr
+			camp.RoundFP = app.UsesFP
+			camp.Ignore = app.IgnoreSet()
+
+			run := func(mode sim.TraverseDeltaMode) *core.Report {
+				t.Helper()
+				c := camp
+				c.TraverseDelta = mode
+				rep, err := c.Check(app.Builder(opts))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			full := run(sim.TraverseDeltaOff)
+			delta := run(sim.TraverseDeltaAuto)
+
+			if full.Points() != delta.Points() {
+				t.Fatalf("point counts differ: full %d, delta %d", full.Points(), delta.Points())
+			}
+			for i := range full.Runs {
+				fr, dr := full.Runs[i], delta.Runs[i]
+				if !reflect.DeepEqual(fr.Checkpoints, dr.Checkpoints) {
+					for j := range fr.Checkpoints {
+						f, d := fr.Checkpoints[j], dr.Checkpoints[j]
+						if f.RawSH != d.RawSH || f.SH != d.SH {
+							t.Fatalf("run %d checkpoint %d (%s): full raw %s adj %s, delta raw %s adj %s",
+								i, j, f.Label, f.RawSH, f.SH, d.RawSH, d.SH)
+						}
+					}
+					t.Fatalf("run %d: checkpoint records differ beyond hashes", i)
+				}
+				// Every checkpoint after the seeding sweep must go through
+				// the delta path (apps with a single end-of-run checkpoint,
+				// like pbzip2's pipeline, have nothing to delta).
+				if want := uint64(len(dr.Checkpoints) - 1); dr.Counters.TraverseDeltaSweeps != want {
+					t.Errorf("run %d: %d delta sweeps, want %d", i, dr.Counters.TraverseDeltaSweeps, want)
+				}
+				if fr.Counters.TraverseDeltaSweeps != 0 {
+					t.Errorf("run %d: full-sweep campaign took the delta path", i)
+				}
+			}
+			for i := range full.Stats {
+				if full.Stats[i].DistKey() != delta.Stats[i].DistKey() {
+					t.Errorf("checkpoint %d: distributions differ: %s vs %s",
+						i, full.Stats[i].DistKey(), delta.Stats[i].DistKey())
+				}
+			}
+			if full.Deterministic() != delta.Deterministic() {
+				t.Errorf("verdicts differ: full %v, delta %v", full.Deterministic(), delta.Deterministic())
+			}
+		})
+	}
+}

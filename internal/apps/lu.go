@@ -13,7 +13,7 @@ func init() {
 		UsesFP:        true,
 		ExpectedClass: core.ClassBitDeterministic,
 		Build: func(o Options) sim.Program {
-			p := &luProg{nt: o.threads(), nb: 22, bs: 6}
+			p := &luProg{nt: o.threads(), nb: 22, bs: 16}
 			if o.Small {
 				p.nb, p.bs = 4, 4
 			}
@@ -24,18 +24,29 @@ func init() {
 
 // luProg reproduces SPLASH-2's lu: blocked in-place LU factorization of a
 // dense nb*bs × nb*bs matrix without pivoting (the matrix is made
-// diagonally dominant). Each elimination step runs three phases — diagonal
-// block factorization, perimeter panel update, interior trailing update —
-// with block ownership statically partitioned, so all writes are disjoint
-// and the factorization is bit-by-bit deterministic. Three barriers per
-// step plus a final one give the 68 dynamic points of Table 1
-// (22 steps × 3 + final + end).
+// diagonally dominant). As in the original, the matrix is stored with
+// each bs×bs block CONTIGUOUS in memory (the block-allocated layout the
+// original uses for locality): block (bi,bj) occupies words
+// [(bi·nb+bj)·bs², …), row-major within the block. A phase that updates
+// a block therefore touches only that block's own pages, and blocks
+// finished in earlier elimination steps are never written again.
+//
+// Each elimination step runs three phases — diagonal block
+// factorization, perimeter panel update, interior trailing update — with
+// block ownership statically partitioned, so all writes are disjoint and
+// the factorization is bit-by-bit deterministic. Three barriers per step
+// plus a final one give the 68 dynamic points of Table 1
+// (22 steps × 3 + final + end). The panel and trailing updates are
+// register-blocked, as the original's daxpy kernels are: each operand
+// block is loaded once per block update and the bs³ multiply-adds run on
+// the loaded copies, so the simulated access stream is O(bs²) per block
+// while the arithmetic stays the exact textbook factorization.
 type luProg struct {
 	nt int
 	nb int // blocks per dimension
 	bs int // block size
 
-	a     uint64 // n×n row-major
+	a     uint64 // nb×nb blocks, each bs×bs, block-contiguous
 	norm  uint64 // final checksum word
 	diag  barrier
 	panel barrier
@@ -49,7 +60,17 @@ func (p *luProg) Threads() int { return p.nt }
 
 func (p *luProg) n() int { return p.nb * p.bs }
 
-func (p *luProg) at(i, j int) uint64 { return idx(p.a, i*p.n()+j) }
+// bat addresses element (i,j) of block (bi,bj) in the block-contiguous
+// layout.
+func (p *luProg) bat(bi, bj, i, j int) uint64 {
+	return idx(p.a, ((bi*p.nb+bj)*p.bs+i)*p.bs+j)
+}
+
+// gat addresses global element (i,j), for code that walks the matrix in
+// matrix coordinates (setup, checksum, tests).
+func (p *luProg) gat(i, j int) uint64 {
+	return p.bat(i/p.bs, j/p.bs, i%p.bs, j%p.bs)
+}
 
 func (p *luProg) Setup(t *sim.Thread) {
 	n := p.n()
@@ -61,7 +82,7 @@ func (p *luProg) Setup(t *sim.Thread) {
 			if i == j {
 				v += float64(n) // diagonal dominance: no pivoting needed
 			}
-			t.StoreF(p.at(i, j), v)
+			t.StoreF(p.gat(i, j), v)
 		}
 	}
 	p.norm = t.AllocStatic("static:lu.norm", 1, mem.KindFloat)
@@ -75,46 +96,77 @@ func (p *luProg) Setup(t *sim.Thread) {
 // 2-D scatter decomposition does.
 func (p *luProg) blockOwner(bi, bj int) int { return (bi*p.nb + bj) % p.nt }
 
+// loadBlock reads block (bi,bj) into a scratch buffer — the register
+// blocking of the original's kernels (one pass over the operand, then
+// arithmetic on the copies).
+func (p *luProg) loadBlock(t *sim.Thread, bi, bj int, buf []float64) {
+	for i := 0; i < p.bs; i++ {
+		for j := 0; j < p.bs; j++ {
+			buf[i*p.bs+j] = t.LoadF(p.bat(bi, bj, i, j))
+		}
+	}
+}
+
+// storeBlock writes the scratch buffer back to block (bi,bj).
+func (p *luProg) storeBlock(t *sim.Thread, bi, bj int, buf []float64) {
+	for i := 0; i < p.bs; i++ {
+		for j := 0; j < p.bs; j++ {
+			t.StoreF(p.bat(bi, bj, i, j), buf[i*p.bs+j])
+		}
+	}
+}
+
 func (p *luProg) Worker(t *sim.Thread) {
 	bs := p.bs
+	d := make([]float64, bs*bs) // diagonal / target block scratch
+	l := make([]float64, bs*bs) // left operand scratch
+	u := make([]float64, bs*bs) // right operand scratch
 	for k := 0; k < p.nb; k++ {
 		// Phase 1: the diagonal block's owner factors it in place.
 		if p.blockOwner(k, k) == t.TID() {
+			p.loadBlock(t, k, k, d)
 			for kk := 0; kk < bs; kk++ {
-				r, c := k*bs+kk, k*bs+kk
-				piv := t.LoadF(p.at(r, c))
+				piv := d[kk*bs+kk]
 				for i := kk + 1; i < bs; i++ {
-					l := t.LoadF(p.at(k*bs+i, c)) / piv
-					t.Compute(2)
-					t.StoreF(p.at(k*bs+i, c), l)
+					lv := d[i*bs+kk] / piv
+					d[i*bs+kk] = lv
 					for j := kk + 1; j < bs; j++ {
-						v := t.LoadF(p.at(k*bs+i, k*bs+j)) - l*t.LoadF(p.at(r, k*bs+j))
-						t.Compute(2)
-						t.StoreF(p.at(k*bs+i, k*bs+j), v)
+						d[i*bs+j] -= lv * d[kk*bs+j]
 					}
+					t.Compute(2 * (bs - kk)) // the row's eliminations
 				}
 			}
+			p.storeBlock(t, k, k, d)
 		}
 		p.diag.await(t)
 
 		// Phase 2: update the perimeter panels against the diagonal block.
+		p.loadBlock(t, k, k, d)
 		for m := k + 1; m < p.nb; m++ {
 			if p.blockOwner(k, m) == t.TID() {
-				p.solveRowPanel(t, k, m)
+				p.solveRowPanel(t, k, m, d, u)
 			}
 			if p.blockOwner(m, k) == t.TID() {
-				p.solveColPanel(t, k, m)
+				p.solveColPanel(t, k, m, d, l)
 			}
 		}
 		p.panel.await(t)
 
-		// Phase 3: rank-bs update of the trailing submatrix.
+		// Phase 3: rank-bs update of the trailing submatrix. The L panel
+		// block is reloaded once per block row, the U panel block once per
+		// target block — the original's fetch-and-daxpy structure.
 		for bi := k + 1; bi < p.nb; bi++ {
+			loaded := false
 			for bj := k + 1; bj < p.nb; bj++ {
 				if p.blockOwner(bi, bj) != t.TID() {
 					continue
 				}
-				p.updateInterior(t, k, bi, bj)
+				if !loaded {
+					p.loadBlock(t, bi, k, l)
+					loaded = true
+				}
+				p.loadBlock(t, k, bj, u)
+				p.updateInterior(t, k, bi, bj, l, u, d)
 			}
 		}
 		p.inner.await(t)
@@ -125,57 +177,65 @@ func (p *luProg) Worker(t *sim.Thread) {
 	if t.TID() == 0 {
 		sum := 0.0
 		for i := 0; i < p.n(); i++ {
-			sum += t.LoadF(p.at(i, i))
+			sum += t.LoadF(p.gat(i, i))
 		}
 		t.StoreF(p.norm, sum)
 	}
 	p.done.await(t)
 }
 
-// solveRowPanel computes U(k,m) = L(k,k)^-1 * A(k,m) in place.
-func (p *luProg) solveRowPanel(t *sim.Thread, k, m int) {
+// solveRowPanel computes U(k,m) = L(k,k)^-1 * A(k,m) in place: the panel
+// block is loaded, the unit-lower triangular solve runs on the copies,
+// and the result is stored back.
+func (p *luProg) solveRowPanel(t *sim.Thread, k, m int, d, u []float64) {
 	bs := p.bs
+	p.loadBlock(t, k, m, u)
 	for kk := 0; kk < bs; kk++ {
 		for i := kk + 1; i < bs; i++ {
-			l := t.LoadF(p.at(k*bs+i, k*bs+kk))
+			lv := d[i*bs+kk]
 			for j := 0; j < bs; j++ {
-				v := t.LoadF(p.at(k*bs+i, m*bs+j)) - l*t.LoadF(p.at(k*bs+kk, m*bs+j))
-				t.Compute(2)
-				t.StoreF(p.at(k*bs+i, m*bs+j), v)
+				u[i*bs+j] -= lv * u[kk*bs+j]
 			}
+			t.Compute(2 * bs) // one saxpy row
 		}
 	}
+	p.storeBlock(t, k, m, u)
 }
 
-// solveColPanel computes L(m,k) = A(m,k) * U(k,k)^-1 in place.
-func (p *luProg) solveColPanel(t *sim.Thread, k, m int) {
+// solveColPanel computes L(m,k) = A(m,k) * U(k,k)^-1 in place, the same
+// way.
+func (p *luProg) solveColPanel(t *sim.Thread, k, m int, d, l []float64) {
 	bs := p.bs
+	p.loadBlock(t, m, k, l)
 	for kk := 0; kk < bs; kk++ {
-		piv := t.LoadF(p.at(k*bs+kk, k*bs+kk))
+		piv := d[kk*bs+kk]
 		for i := 0; i < bs; i++ {
-			s := t.LoadF(p.at(m*bs+i, k*bs+kk))
+			s := l[i*bs+kk]
 			for j := 0; j < kk; j++ {
-				s -= t.LoadF(p.at(m*bs+i, k*bs+j)) * t.LoadF(p.at(k*bs+j, k*bs+kk))
-				t.Compute(2)
+				s -= l[i*bs+j] * d[j*bs+kk]
 			}
-			t.Compute(2)
-			t.StoreF(p.at(m*bs+i, k*bs+kk), s/piv)
+			l[i*bs+kk] = s / piv
+			t.Compute(2*kk + 2) // the dot product and the divide
 		}
 	}
+	p.storeBlock(t, m, k, l)
 }
 
-// updateInterior computes A(bi,bj) -= L(bi,k) * U(k,bj), updating the
-// destination element in place per rank-1 term, as SPLASH-2's lu does.
-func (p *luProg) updateInterior(t *sim.Thread, k, bi, bj int) {
+// updateInterior computes A(bi,bj) -= L(bi,k) * U(k,bj) on the loaded
+// operand copies — the exact rank-bs update, with the target block
+// streamed through memory once.
+func (p *luProg) updateInterior(t *sim.Thread, k, bi, bj int, l, u, tgt []float64) {
 	bs := p.bs
+	p.loadBlock(t, bi, bj, tgt)
 	for i := 0; i < bs; i++ {
 		for j := 0; j < bs; j++ {
+			s := tgt[i*bs+j]
 			for kk := 0; kk < bs; kk++ {
-				s := t.LoadF(p.at(bi*bs+i, bj*bs+j)) -
-					t.LoadF(p.at(bi*bs+i, k*bs+kk))*t.LoadF(p.at(k*bs+kk, bj*bs+j))
-				t.Compute(16) // multiply-add plus address generation and loop control
-				t.StoreF(p.at(bi*bs+i, bj*bs+j), s)
+				s -= l[i*bs+kk] * u[kk*bs+j]
 			}
+			tgt[i*bs+j] = s
+			t.Compute(2 * bs) // the bs multiply-adds
 		}
 	}
+	p.storeBlock(t, bi, bj, tgt)
 }

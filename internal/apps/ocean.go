@@ -1,11 +1,16 @@
 package apps
 
 import (
+	"fmt"
+
 	"instantcheck/internal/core"
 	"instantcheck/internal/mem"
 	"instantcheck/internal/sched"
 	"instantcheck/internal/sim"
 )
+
+// gridSite names the static allocation site of a per-level pyramid grid.
+func gridSite(base string, l int) string { return fmt.Sprintf("static:%s%d", base, l) }
 
 func init() {
 	register(&App{
@@ -14,7 +19,7 @@ func init() {
 		UsesFP:        true,
 		ExpectedClass: core.ClassFPDeterministic,
 		Build: func(o Options) sim.Program {
-			p := &oceanProg{nt: o.threads(), g: 26, iters: 290}
+			p := &oceanProg{nt: o.threads(), g: 64, iters: 290}
 			if o.Small {
 				p.g, p.iters = 12, 12
 			}
@@ -23,36 +28,97 @@ func init() {
 	})
 }
 
-// oceanProg reproduces SPLASH-2's ocean: red-black Gauss-Seidel relaxation
-// of a g×g grid. The red and black half-sweeps write disjoint cells and
-// read only the opposite color (stable since the previous barrier), so the
-// grid itself is bit-by-bit deterministic. The per-iteration residual,
-// however, is reduced into a single shared accumulator under a lock — the
-// addition order is schedule-dependent, so the residual word differs in its
-// low mantissa bits across runs. With FP rounding the program is
-// deterministic (Table 1: 871 points — 290 iterations × 3 barriers + end).
+// oceanProg reproduces SPLASH-2's ocean: an eddy-current ocean basin
+// simulation whose core is a red-black Gauss-Seidel multigrid solver for
+// the stream-function equation. The program's live state mirrors the
+// original's field inventory — a pyramid of solution and right-hand-side
+// grids (one pair per multigrid level), the previous timestep's solution
+// kept for the leapfrog integration, and a set of constant input fields
+// (wind stress, Coriolis parameter, bathymetry, friction coefficients)
+// read when the right-hand side is formed. Each of the 290 iterations
+// relaxes one level of a V-cycle and runs exactly three barriers —
+// transfer (inter-grid restriction/prolongation and, at timestep
+// boundaries, RHS formation and history rotation), red half-sweep, black
+// half-sweep — so the checkpoint structure is 290 × 3 + end = Table 1's
+// 871 points.
+//
+// All grid writes are disjoint (row-partitioned, and the red/black
+// half-sweeps read only the opposite color, stable since the previous
+// barrier), so the fields are bit-by-bit deterministic. The per-iteration
+// residual, however, is reduced into a single shared accumulator under a
+// lock — the addition order is schedule-dependent, so the residual word
+// differs in its low mantissa bits across runs and ocean is deterministic
+// only with FP rounding.
 type oceanProg struct {
 	nt    int
-	g     int
+	g     int // finest grid dimension
 	iters int
 
-	grid      uint64 // g×g field
+	sizes []int // grid dimension per multigrid level
+	cycle []int // V-cycle level schedule, repeated over the iterations
+
+	q   []uint64 // per-level solution grids (q[0] is the stream function ψ)
+	rhs []uint64 // per-level right-hand sides
+
+	psim uint64 // previous-timestep ψ (leapfrog history)
+	tauz uint64 // wind-stress forcing (constant input)
+	f    uint64 // Coriolis parameter field (constant input)
+	h    uint64 // bathymetry / depth field (constant input)
+	gam  uint64 // friction coefficient field (constant input)
+	omg  uint64 // 1-γ precomputed coefficient field (constant input)
+
 	resid     uint64 // shared residual accumulator
 	residLock *sched.Mutex
 
-	red, black, residBar barrier
+	transfer, red, black barrier
 }
+
+// oceanCyclesPerStep is how many V-cycles the solver runs per timestep:
+// the right-hand side is formed (and the leapfrog history rotated) once,
+// then the multigrid iterates on it.
+const oceanCyclesPerStep = 2
 
 func (p *oceanProg) Name() string { return "ocean" }
 
 func (p *oceanProg) Threads() int { return p.nt }
 
-func (p *oceanProg) at(i, j int) uint64 { return idx(p.grid, i*p.g+j) }
+// at indexes level l's solution grid; rat its right-hand side.
+func (p *oceanProg) at(l, i, j int) uint64  { return idx(p.q[l], i*p.sizes[l]+j) }
+func (p *oceanProg) rat(l, i, j int) uint64 { return idx(p.rhs[l], i*p.sizes[l]+j) }
+
+// fat indexes a finest-resolution field (history or constant input).
+func (p *oceanProg) fat(base uint64, i, j int) uint64 { return idx(base, i*p.g+j) }
 
 func (p *oceanProg) Setup(t *sim.Thread) {
-	p.grid = t.AllocStatic("static:oc.grid", p.g*p.g, mem.KindFloat)
+	// Multigrid pyramid: halve until the grid is too coarse to relax.
+	for s := p.g; s >= 6; s /= 2 {
+		p.sizes = append(p.sizes, s)
+	}
+	// V-cycle: down the pyramid and back up; level 0 is revisited at the
+	// start of the next cycle.
+	for l := 0; l < len(p.sizes); l++ {
+		p.cycle = append(p.cycle, l)
+	}
+	for l := len(p.sizes) - 2; l >= 1; l-- {
+		p.cycle = append(p.cycle, l)
+	}
+
+	p.q = make([]uint64, len(p.sizes))
+	p.rhs = make([]uint64, len(p.sizes))
+	for l, s := range p.sizes {
+		p.q[l] = t.AllocStatic(gridSite("oc.q", l), s*s, mem.KindFloat)
+		p.rhs[l] = t.AllocStatic(gridSite("oc.rhs", l), s*s, mem.KindFloat)
+	}
+	n := p.g * p.g
+	p.psim = t.AllocStatic("static:oc.psim", n, mem.KindFloat)
+	p.tauz = t.AllocStatic("static:oc.tauz", n, mem.KindFloat)
+	p.f = t.AllocStatic("static:oc.f", n, mem.KindFloat)
+	p.h = t.AllocStatic("static:oc.h", n, mem.KindFloat)
+	p.gam = t.AllocStatic("static:oc.gamma", n, mem.KindFloat)
+	p.omg = t.AllocStatic("static:oc.oneminusgamma", n, mem.KindFloat)
 	p.resid = t.AllocStatic("static:oc.resid", 1, mem.KindFloat)
 	p.residLock = t.Machine().NewMutex("oc.resid")
+
 	rng := newXorshift(21)
 	for i := 0; i < p.g; i++ {
 		for j := 0; j < p.g; j++ {
@@ -60,56 +126,158 @@ func (p *oceanProg) Setup(t *sim.Thread) {
 			if i == 0 || j == 0 || i == p.g-1 || j == p.g-1 {
 				v = 1.0 // fixed boundary
 			}
-			t.StoreF(p.at(i, j), v)
+			t.StoreF(p.at(0, i, j), v)
+			t.StoreF(p.fat(p.psim, i, j), v)
+			t.StoreF(p.fat(p.tauz, i, j), 0.1*rng.unitFloat())
+			t.StoreF(p.fat(p.f, i, j), 1e-4*(1+float64(i)/float64(p.g)))
+			t.StoreF(p.fat(p.h, i, j), 1000+4000*rng.unitFloat())
+			g := 0.05 * rng.unitFloat()
+			t.StoreF(p.fat(p.gam, i, j), g)
+			t.StoreF(p.fat(p.omg, i, j), 1-g)
 		}
 	}
+	p.transfer = newBarrier(t, "oc.transfer")
 	p.red = newBarrier(t, "oc.red")
 	p.black = newBarrier(t, "oc.black")
-	p.residBar = newBarrier(t, "oc.resid")
 }
 
-// relaxColor updates the interior cells of one color on this thread's rows
-// and returns the sum of squared updates (the thread's residual partial).
-func (p *oceanProg) relaxColor(t *sim.Thread, color, rlo, rhi int) float64 {
-	partial := 0.0
+// rows returns this thread's interior row span [lo, hi) at level l.
+func (p *oceanProg) rows(l, tid int) (int, int) {
+	lo, hi := span(p.sizes[l]-2, p.nt, tid)
+	return lo + 1, hi + 1
+}
+
+// formRHS starts a new timestep on this thread's rows: the right-hand
+// side is assembled pointwise from the current and previous solution and
+// the constant input fields (the ga/gb computation of the original), and
+// the leapfrog history rotates.
+func (p *oceanProg) formRHS(t *sim.Thread, rlo, rhi int) {
 	for i := rlo; i < rhi; i++ {
 		for j := 1; j < p.g-1; j++ {
+			cur := t.LoadF(p.at(0, i, j))
+			old := t.LoadF(p.fat(p.psim, i, j))
+			wind := t.LoadF(p.fat(p.tauz, i, j))
+			cor := t.LoadF(p.fat(p.f, i, j))
+			depth := t.LoadF(p.fat(p.h, i, j))
+			fric := t.LoadF(p.fat(p.gam, i, j)) * t.LoadF(p.fat(p.omg, i, j))
+			t.Compute(18) // curl of the wind stress, vorticity terms
+			t.StoreF(p.rat(0, i, j), wind/depth+cor*(cur-old)-fric*cur)
+			t.StoreF(p.fat(p.psim, i, j), cur)
+		}
+	}
+}
+
+// restrict moves the problem one level down on this thread's coarse rows:
+// the fine level's residual is injected as the coarse right-hand side and
+// the coarse correction starts from zero.
+func (p *oceanProg) restrict(t *sim.Thread, l int, rlo, rhi int) {
+	for i := rlo; i < rhi; i++ {
+		for j := 1; j < p.sizes[l]-1; j++ {
+			r := t.LoadF(p.rat(l-1, 2*i, 2*j)) - t.LoadF(p.at(l-1, 2*i, 2*j))
+			t.Compute(4)
+			t.StoreF(p.rat(l, i, j), 0.25*r)
+			t.StoreF(p.at(l, i, j), 0)
+		}
+	}
+}
+
+// prolong moves the correction one level up by injection: every fine
+// cell with a coarse partner adds it in. The loop runs over this
+// thread's FINE rows (the level being written), so all writes stay in
+// the thread's own partition; the coarse reads are stable since the
+// previous barrier.
+func (p *oceanProg) prolong(t *sim.Thread, l int, rlo, rhi int) {
+	cs := p.sizes[l+1]
+	for i := rlo; i < rhi; i++ {
+		if i%2 != 0 {
+			continue
+		}
+		ci := i / 2
+		if ci < 1 || ci >= cs-1 {
+			continue
+		}
+		for cj := 1; cj < cs-1; cj++ {
+			c := t.LoadF(p.at(l+1, ci, cj))
+			v := t.LoadF(p.at(l, i, 2*cj))
+			t.Compute(2)
+			t.StoreF(p.at(l, i, 2*cj), v+c)
+		}
+	}
+}
+
+// relaxColor updates the interior cells of one color on this thread's
+// rows of level l and returns the sum of squared updates (the thread's
+// residual partial).
+func (p *oceanProg) relaxColor(t *sim.Thread, l, color, rlo, rhi int) float64 {
+	partial := 0.0
+	s := p.sizes[l]
+	for i := rlo; i < rhi; i++ {
+		for j := 1; j < s-1; j++ {
 			if (i+j)%2 != color {
 				continue
 			}
-			up := t.LoadF(p.at(i-1, j))
-			down := t.LoadF(p.at(i+1, j))
-			left := t.LoadF(p.at(i, j-1))
-			right := t.LoadF(p.at(i, j+1))
-			old := t.LoadF(p.at(i, j))
-			v := 0.25 * (up + down + left + right)
+			up := t.LoadF(p.at(l, i-1, j))
+			down := t.LoadF(p.at(l, i+1, j))
+			left := t.LoadF(p.at(l, i, j-1))
+			right := t.LoadF(p.at(l, i, j+1))
+			old := t.LoadF(p.at(l, i, j))
+			rh := t.LoadF(p.rat(l, i, j))
+			v := 0.25 * (up + down + left + right - rh)
 			diff := v - old
 			partial += diff * diff
 			t.Compute(24) // stencil arithmetic + convergence bookkeeping
-			t.StoreF(p.at(i, j), v)
+			t.StoreF(p.at(l, i, j), v)
 		}
 	}
 	return partial
 }
 
 func (p *oceanProg) Worker(t *sim.Thread) {
-	// Interior rows 1..g-2 partitioned across threads.
-	rlo, rhi := span(p.g-2, p.nt, t.TID())
-	rlo, rhi = rlo+1, rhi+1
+	tid := t.TID()
+	clen := len(p.cycle)
 
 	for it := 0; it < p.iters; it++ {
-		if t.TID() == 0 {
+		lvl := p.cycle[it%clen]
+		prev := p.cycle[(it+clen-1)%clen]
+
+		// Phase 1: inter-grid transfer. Every write is to this thread's
+		// own rows; reads of the other level are stable since the
+		// previous barrier.
+		if tid == 0 {
 			t.StoreF(p.resid, 0)
 		}
-		red := p.relaxColor(t, 0, rlo, rhi)
+		switch {
+		case it%clen == 0:
+			// Back at the finest level: fold in the coarse correction
+			// accumulated by the cycle just finished, and at timestep
+			// boundaries form a fresh right-hand side.
+			rlo, rhi := p.rows(0, tid)
+			if it > 0 {
+				p.prolong(t, 0, rlo, rhi)
+			}
+			if it%(oceanCyclesPerStep*clen) == 0 {
+				p.formRHS(t, rlo, rhi)
+			}
+		case lvl > prev:
+			rlo, rhi := p.rows(lvl, tid)
+			p.restrict(t, lvl, rlo, rhi)
+		default:
+			rlo, rhi := p.rows(lvl, tid)
+			p.prolong(t, lvl, rlo, rhi)
+		}
+		p.transfer.await(t)
+
+		// Phases 2+3: red and black half-sweeps on this level, with the
+		// residual reduced into the shared accumulator after the black
+		// sweep — atomic per addition, racy in order.
+		rlo, rhi := p.rows(lvl, tid)
+		red := p.relaxColor(t, lvl, 0, rlo, rhi)
 		p.red.await(t)
-		black := p.relaxColor(t, 1, rlo, rhi)
-		p.black.await(t)
-		// Residual reduction: atomic per addition, racy in order.
+		black := p.relaxColor(t, lvl, 1, rlo, rhi)
 		t.Lock(p.residLock)
 		r := t.LoadF(p.resid)
 		t.StoreF(p.resid, r+red+black)
 		t.Unlock(p.residLock)
-		p.residBar.await(t)
+		p.black.await(t)
 	}
 }

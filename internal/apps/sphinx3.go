@@ -26,9 +26,14 @@ func init() {
 			return sim.NewIgnoreSet(rules...)
 		},
 		Build: func(o Options) sim.Program {
-			p := &sphinx3Prog{nt: o.threads(), senones: 64, frames: 1066}
+			// At full scale the acoustic model tables carry the simmedium
+			// input's weight: the read-only model is ~96% of the live
+			// state and the racy scratch the paper's ~4%.
+			p := &sphinx3Prog{nt: o.threads(), senones: 64, frames: 1066,
+				modelWords: 64, scratchWords: 40}
 			if o.Small {
 				p.senones, p.frames = 32, 24
+				p.modelWords, p.scratchWords = 16, 16
 			}
 			return p
 		},
@@ -41,8 +46,6 @@ const (
 	// with the scratch sites it approximates the paper's 230 sites.
 	sphinx3ModelSites   = 215
 	sphinx3ScratchSites = 15
-	sphinx3ModelWords   = 16
-	sphinx3ScratchWords = 16
 )
 
 func sphinx3ScratchSite(i int) string { return fmt.Sprintf("sphinx3.scratch.%02d", i) }
@@ -57,9 +60,11 @@ func sphinx3ScratchSite(i int) string { return fmt.Sprintf("sphinx3.scratch.%02d
 // those sites from the hash makes sphinx3 externally deterministic
 // (Table 1: 4265 dynamic points = 1066 frames × 4 barriers + end).
 type sphinx3Prog struct {
-	nt      int
-	senones int
-	frames  int
+	nt           int
+	senones      int
+	frames       int
+	modelWords   int // words per model table (the read-only bulk)
+	scratchWords int // words per racy scratch block
 
 	model   []uint64 // one block per model site
 	feature uint64   // per-frame feature basis
@@ -83,15 +88,15 @@ func (p *sphinx3Prog) Setup(t *sim.Thread) {
 	p.model = make([]uint64, sphinx3ModelSites)
 	rng := newXorshift(2020)
 	for i := range p.model {
-		p.model[i] = t.Malloc(fmt.Sprintf("sphinx3.model.%03d", i), sphinx3ModelWords, mem.KindFloat)
-		for w := 0; w < sphinx3ModelWords; w++ {
+		p.model[i] = t.Malloc(fmt.Sprintf("sphinx3.model.%03d", i), p.modelWords, mem.KindFloat)
+		for w := 0; w < p.modelWords; w++ {
 			t.StoreF(idx(p.model[i], w), rng.unitFloat())
 		}
 	}
 	// ...and 15 scratch blocks that the pruning phase fills racily.
 	p.scratch = make([]uint64, sphinx3ScratchSites)
 	for i := range p.scratch {
-		p.scratch[i] = t.Malloc(sphinx3ScratchSite(i), sphinx3ScratchWords, mem.KindWord)
+		p.scratch[i] = t.Malloc(sphinx3ScratchSite(i), p.scratchWords, mem.KindWord)
 	}
 	p.feature = t.AllocStatic("static:sx.feature", 16, mem.KindFloat)
 	p.scores = t.AllocStatic("static:sx.scores", p.senones, mem.KindFloat)
@@ -111,13 +116,13 @@ func (p *sphinx3Prog) Setup(t *sim.Thread) {
 func (p *sphinx3Prog) Worker(t *sim.Thread) {
 	tid := t.TID()
 	lo, hi := span(p.senones, p.nt, tid)
-	total := sphinx3ScratchSites * sphinx3ScratchWords
+	total := sphinx3ScratchSites * p.scratchWords
 
 	for frame := 0; frame < p.frames; frame++ {
 		// Phase 1: acoustic scoring — pure per-senone GMM evaluation.
 		f := t.LoadF(idx(p.feature, frame%16))
 		for s := lo; s < hi; s++ {
-			m := t.LoadF(idx(p.model[s%sphinx3ModelSites], s%sphinx3ModelWords))
+			m := t.LoadF(idx(p.model[s%sphinx3ModelSites], s%p.modelWords))
 			d := f - m
 			t.Compute(40) // the Gaussian mixture evaluation
 			t.StoreF(idx(p.scores, s), -d*d+0.001*float64(frame%17))
@@ -137,8 +142,8 @@ func (p *sphinx3Prog) Worker(t *sim.Thread) {
 				t.Store(p.scratchCursor, cur+1)
 				t.Unlock(p.cursorLock)
 				slot := int(cur) % total
-				blk := p.scratch[slot/sphinx3ScratchWords]
-				t.Store(idx(blk, slot%sphinx3ScratchWords), uint64(s)<<32|uint64(frame&0xffffffff))
+				blk := p.scratch[slot/p.scratchWords]
+				t.Store(idx(blk, slot%p.scratchWords), uint64(s)<<32|uint64(frame&0xffffffff))
 			}
 		}
 		p.prune.await(t)

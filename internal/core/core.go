@@ -59,6 +59,10 @@ type Campaign struct {
 	// full state capture at the first differing checkpoint, for the
 	// state-diff debugging tool (§2.3). It costs two extra runs.
 	SnapshotDifferingRuns bool
+	// TraverseDelta selects the traversal scheme's checkpoint strategy
+	// for every run (dirty-page delta hashing by default; see
+	// sim.TraverseDeltaMode). Ignored by the incremental schemes.
+	TraverseDelta sim.TraverseDeltaMode
 	// Parallelism is the number of runs executed concurrently. The runs of
 	// a campaign are independent given the recording run's replay logs
 	// (§5), so the recording run executes first and alone, then up to
@@ -327,6 +331,7 @@ func (c Campaign) runOnce(build Builder, addrLog *replay.AddrLog, env *replay.En
 		Env:            env,
 		Ignore:         c.Ignore,
 		SnapshotAt:     snapshotAt,
+		TraverseDelta:  c.TraverseDelta,
 	})
 	res, err := m.Run(prog)
 	return res, prog.Name(), err

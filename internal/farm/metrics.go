@@ -49,6 +49,10 @@ type Metrics struct {
 	fastwinMisses   *obs.ShardedCounter
 	travRunsHashed  *obs.ShardedCounter
 	travSharded     *obs.ShardedCounter
+	travFullSweeps  *obs.ShardedCounter
+	travDeltaSweeps *obs.ShardedCounter
+	travDirtyPages  *obs.ShardedCounter
+	travLivePages   *obs.ShardedCounter
 }
 
 // metricShards is the shard count for counters bumped by concurrent run
@@ -99,6 +103,14 @@ func newMetrics(reg *obs.Registry) *Metrics {
 			"Page-bounded runs hashed by the traversal scheme's checkpoint sweeps.", metricShards),
 		travSharded: reg.Sharded("instantcheck_traverse_sharded_sweeps_total",
 			"Checkpoint sweeps that fanned out across goroutine shards.", metricShards),
+		travFullSweeps: reg.Sharded("instantcheck_traverse_full_sweeps_total",
+			"Traversal checkpoints that swept every live run (seeding sweeps in delta mode; every sweep with delta off).", metricShards),
+		travDeltaSweeps: reg.Sharded("instantcheck_traverse_delta_sweeps_total",
+			"Traversal checkpoints served by dirty-page delta hashing.", metricShards),
+		travDirtyPages: reg.Sharded("instantcheck_traverse_dirty_pages_total",
+			"Pages rehashed by delta sweeps (the work delta checkpoints actually did).", metricShards),
+		travLivePages: reg.Sharded("instantcheck_traverse_live_pages_total",
+			"Per-page cache size sampled at each delta sweep (the work a full sweep would have done).", metricShards),
 	}
 }
 
@@ -127,6 +139,10 @@ func (m *Metrics) observeRun(scheme sim.Scheme, shard int, res *sim.Result, d ti
 	}
 	m.travRunsHashed.Add(shard, c.TraverseRunsHashed)
 	m.travSharded.Add(shard, c.TraverseShardedSweeps)
+	m.travFullSweeps.Add(shard, c.TraverseFullSweeps)
+	m.travDeltaSweeps.Add(shard, c.TraverseDeltaSweeps)
+	m.travDirtyPages.Add(shard, c.TraverseDirtyPages)
+	m.travLivePages.Add(shard, c.TraverseLivePages)
 }
 
 // storeAppend records one durable append's outcome; the store calls it from

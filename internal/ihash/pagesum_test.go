@@ -1,0 +1,70 @@
+package ihash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPageSumCacheAlgebra drives randomized Add/Replace sequences against a
+// naive model (a plain map summed from scratch) and checks the incremental
+// total matches the full recomputation after every operation — the group
+// identity SH' = SH ⊖ old ⊕ new that delta checkpoints rely on.
+func TestPageSumCacheAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := NewPageSumCache()
+	model := map[uint64]Digest{}
+	recompute := func() Digest {
+		var d Digest
+		for _, v := range model {
+			d = d.Combine(v)
+		}
+		return d
+	}
+	for op := 0; op < 2000; op++ {
+		page := uint64(rng.Intn(40))
+		switch rng.Intn(3) {
+		case 0: // rebuild-style accumulation
+			d := Digest(rng.Uint64())
+			c.Add(page, d)
+			model[page] = model[page].Combine(d)
+		case 1: // delta-style replacement
+			next := Digest(rng.Uint64())
+			old := c.Replace(page, next)
+			if want := model[page]; old != want {
+				t.Fatalf("op %d: Replace returned old %s, model %s", op, old, want)
+			}
+			model[page] = next
+		case 2: // page drops out of the live state
+			c.Replace(page, Zero)
+			delete(model, page)
+		}
+		if got, want := c.Total(), recompute(); got != want {
+			t.Fatalf("op %d: incremental total %s, recomputed %s", op, got, want)
+		}
+	}
+}
+
+// TestPageSumCacheZeroEviction: replacing a page's contribution with Zero
+// must delete the entry, so the cache tracks only pages with live nonzero
+// state (freed pages cost nothing).
+func TestPageSumCacheZeroEviction(t *testing.T) {
+	c := NewPageSumCache()
+	c.Add(3, Digest(7))
+	c.Add(9, Digest(11))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if old := c.Replace(3, Zero); old != Digest(7) {
+		t.Fatalf("Replace old = %s, want 7", old)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after zero replace = %d, want 1", c.Len())
+	}
+	if c.Total() != Digest(11) {
+		t.Fatalf("Total = %s, want 11", c.Total())
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Total() != Zero {
+		t.Fatalf("Reset left Len=%d Total=%s", c.Len(), c.Total())
+	}
+}

@@ -9,13 +9,34 @@ import "testing"
 // access caches (the last-block cache and the fast load/store window), whose
 // invalidation on Free and re-establishment on Alloc is the subtle part of
 // the memory engine's hot path.
+//
+// It also validates the dirty-page bitmap the delta hasher relies on: a
+// "checkpoint" op diffs the model against a shadow copy taken at the last
+// ClearDirty and requires every page whose hash-relevant content changed —
+// including pages freed and re-allocated at a reused base — to be reported
+// by TraverseDirtyRuns, with run contents matching the model.
 func FuzzCacheInvalidation(f *testing.F) {
 	f.Add([]byte{0, 3, 1, 4, 2, 5})
 	f.Add([]byte{0, 0, 3, 3, 2, 1, 4, 4, 5, 2, 0, 3, 4})
 	f.Add([]byte{0, 2, 1, 2, 1, 2, 1, 4})
+	f.Add([]byte{0, 9, 3, 3, 6, 2, 0, 6, 1, 1, 3, 5, 6})
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		m := New()
 		model := map[uint64]uint64{}
+		// shadow is the hash-relevant state (live nonzero words) at the
+		// last ClearDirty; effective() recomputes it from the model. A word
+		// that is dead or zero-valued contributes nothing to the state
+		// hash, so only live-nonzero words can make a page dirty-relevant.
+		shadow := map[uint64]uint64{}
+		effective := func() map[uint64]uint64 {
+			eff := make(map[uint64]uint64, len(model))
+			for a, v := range model {
+				if v != 0 {
+					eff[a] = v
+				}
+			}
+			return eff
+		}
 		type slot struct {
 			base uint64
 			cap  int // footprint in words: reuse must not outgrow it
@@ -51,7 +72,7 @@ func FuzzCacheInvalidation(f *testing.F) {
 		}
 
 		for i := 0; i < len(ops); i++ {
-			op := ops[i] % 6
+			op := ops[i] % 7
 			sel := arg(i)
 			switch op {
 			case 0: // alloc fresh
@@ -140,6 +161,56 @@ func FuzzCacheInvalidation(f *testing.F) {
 						t.Fatalf("op %d: sweep %#x = %d, model %d", i, addr, v, model[addr])
 					}
 				}
+			case 6: // delta checkpoint: dirty pages must cover every change
+				eff := effective()
+				changed := map[uint64]bool{}
+				for a, v := range shadow {
+					if eff[a] != v {
+						changed[a/pageBytes] = true
+					}
+				}
+				for a, v := range eff {
+					if shadow[a] != v {
+						changed[a/pageBytes] = true
+					}
+				}
+				dirty := map[uint64]bool{}
+				reported := map[uint64]bool{}
+				m.TraverseDirtyRuns(
+					func(pn uint64) { dirty[pn] = true },
+					func(base uint64, words []uint64, kind Kind) {
+						for w, v := range words {
+							addr := base + uint64(w)*WordSize
+							want, liveWord := model[addr]
+							if !liveWord {
+								t.Fatalf("op %d: dirty run visited dead word %#x", i, addr)
+							}
+							if v != want {
+								t.Fatalf("op %d: dirty run %#x = %d, model %d", i, addr, v, want)
+							}
+							reported[addr] = true
+						}
+					})
+				for pn := range changed {
+					if !dirty[pn] {
+						t.Fatalf("op %d: page %d changed since last checkpoint but is not dirty", i, pn)
+					}
+				}
+				// A dirty page's reported runs must cover every live word on
+				// it: a missed run would leave a stale contribution cached.
+				for addr := range model {
+					if dirty[addr/pageBytes] && !reported[addr] {
+						t.Fatalf("op %d: live word %#x on dirty page not reported", i, addr)
+					}
+				}
+				if got, want := m.DirtyPageCount(), len(dirty); got != want {
+					t.Fatalf("op %d: DirtyPageCount = %d, TraverseDirtyRuns reported %d", i, got, want)
+				}
+				m.ClearDirty()
+				if n := m.DirtyPageCount(); n != 0 {
+					t.Fatalf("op %d: %d pages dirty after ClearDirty", i, n)
+				}
+				shadow = eff
 			}
 		}
 

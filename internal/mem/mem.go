@@ -27,6 +27,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"unsafe"
 )
@@ -114,10 +115,13 @@ type page [pageWords]uint64
 // a 512 KiB address window plus, per page, the live block that fully covers
 // the page (nil when the page straddles block boundaries or holes). The
 // owner metadata is what makes liveness checking O(1) for interior pages of
-// large allocations.
+// large allocations. dirty is the per-page dirty bitmap consumed by the
+// delta checkpoint sweep: a set bit means the page's contribution to the
+// state hash may have changed since the last ClearDirty.
 type leaf struct {
 	pages [leafSize]*page
 	owner [leafSize]*Block
+	dirty [leafSize / 64]uint64
 }
 
 // zeroRun backs the word slices TraverseRuns hands out for words whose
@@ -172,6 +176,13 @@ type Memory struct {
 	fastBase uint64
 	fastLen  uint64
 	fastWin  unsafe.Pointer
+	// fastDirty/fastDirtyMask address the dirty bit of the fast window's
+	// page: a window-hit store marks its page with a single masked OR, the
+	// only dirty-tracking cost on the inlined hit path. Valid whenever
+	// fastLen > 0 (the window always maps a materialized page, whose leaf
+	// therefore exists).
+	fastDirty     *uint64
+	fastDirtyMask uint64
 
 	// fastLoadMiss and fastStoreMiss count slow-path resolutions: accesses
 	// that fell through the fast window into loadSlow/storeSlow (including
@@ -226,6 +237,7 @@ func (m *Memory) AllocStatic(site string, words int, kind Kind) uint64 {
 	m.staticWords += words
 	m.liveWords += words
 	m.zeroLive(base, words)
+	m.markDirtyRange(base, words)
 	return base
 }
 
@@ -261,8 +273,11 @@ func (m *Memory) Alloc(site string, words int, kind Kind) *Block {
 	m.liveWords += words
 	// Zero-fill, as InstantCheck's allocator interception does. Only words
 	// with a materialized backing page need explicit clearing: fresh pages
-	// read as zero already.
+	// read as zero already. Dirty marking elides the same pages the
+	// zero-fill does: an unmaterialized page contributes zero to the state
+	// hash before and after the allocation.
 	m.zeroLive(base, words)
+	m.markDirtyRange(base, words)
 	return b
 }
 
@@ -290,6 +305,10 @@ func (m *Memory) Free(base uint64) *Block {
 		m.fastWin = nil
 	}
 	m.clearOwners(b)
+	// The freed words leave the hashed state: their pages' contributions
+	// change (to zero, for pages the block covered fully), so the delta
+	// sweep must revisit them.
+	m.markDirtyRange(b.Base, b.Words)
 	m.liveWords -= b.Words
 	return b
 }
@@ -336,6 +355,7 @@ func (m *Memory) Store(addr, value uint64) (old uint64) {
 		p := (*uint64)(unsafe.Add(m.fastWin, off))
 		old = *p
 		*p = value
+		*m.fastDirty |= m.fastDirtyMask
 		return old
 	}
 	return m.storeSlow(addr, value)
@@ -351,6 +371,7 @@ func (m *Memory) StoreFast(addr, value uint64) (old uint64, ok bool) {
 		p := (*uint64)(unsafe.Add(m.fastWin, off))
 		old = *p
 		*p = value
+		*m.fastDirty |= m.fastDirtyMask
 		return old, true
 	}
 	return 0, false
@@ -363,7 +384,9 @@ func (m *Memory) storeSlow(addr, value uint64) (old uint64) {
 	i := (addr % pageBytes) / WordSize
 	old = p[i]
 	p[i] = value
-	m.setFastWindow(m.cacheBlock, addr/pageBytes, p)
+	pn := addr / pageBytes
+	m.markDirty(pn)
+	m.setFastWindow(m.cacheBlock, pn, p)
 	return old
 }
 
@@ -385,6 +408,9 @@ func (m *Memory) setFastWindow(b *Block, pn uint64, p *page) {
 	m.fastBase = start
 	m.fastLen = end - start
 	m.fastWin = unsafe.Pointer(&p[(start%pageBytes)/WordSize])
+	lf := m.leafAt(pn) // non-nil: p is materialized, so its leaf exists
+	m.fastDirty = &lf.dirty[(pn&leafMask)>>6]
+	m.fastDirtyMask = 1 << (pn & 63)
 }
 
 // Peek reads a word without liveness checking (for snapshots and the
@@ -659,6 +685,122 @@ func (m *Memory) clearOwners(b *Block) {
 	for pn := first; pn < last; pn++ {
 		if lf := m.leafAt(pn); lf != nil {
 			lf.owner[pn&leafMask] = nil
+		}
+	}
+}
+
+// markDirty sets the dirty bit of page pn. The page's leaf must exist
+// (callers mark pages they have just materialized or resolved).
+func (m *Memory) markDirty(pn uint64) {
+	lf := m.dir[pn>>leafBits]
+	lf.dirty[(pn&leafMask)>>6] |= 1 << (pn & 63)
+}
+
+// markDirtyRange marks every page overlapping [base, base+words*WordSize)
+// whose directory leaf exists. Pages under a missing leaf were never stored
+// to: every word there reads zero, so the page's state-hash contribution is
+// zero both before and after the block-table change being recorded, and the
+// delta sweep can skip it — the bitmap analogue of zero-fill elision.
+func (m *Memory) markDirtyRange(base uint64, words int) {
+	first := base / pageBytes
+	last := (base + uint64(words)*WordSize - 1) / pageBytes
+	for pn := first; pn <= last; pn++ {
+		if lf := m.leafAt(pn); lf != nil {
+			lf.dirty[(pn&leafMask)>>6] |= 1 << (pn & 63)
+		}
+	}
+}
+
+// DirtyPageCount returns the number of pages currently marked dirty.
+func (m *Memory) DirtyPageCount() int {
+	n := 0
+	for _, lf := range m.dir {
+		if lf == nil {
+			continue
+		}
+		for _, w := range lf.dirty {
+			n += bits.OnesCount64(w)
+		}
+	}
+	return n
+}
+
+// ClearDirty resets the dirty bitmap. A delta-hashing checkpoint calls it
+// after folding the dirty pages' new contributions into its cache.
+func (m *Memory) ClearDirty() {
+	for _, lf := range m.dir {
+		if lf != nil {
+			lf.dirty = [leafSize / 64]uint64{}
+		}
+	}
+}
+
+// TraverseDirtyRuns visits every dirty page in ascending page-number order.
+// For each dirty page it calls page(pn) once, then run(base, words, kind)
+// for every maximal live run on that page — zero calls when the page no
+// longer holds live words (its whole extent was freed), which tells delta
+// hashers the page's contribution is now zero. Run slices follow the
+// TraverseRuns contract: read-only, never crossing a page or block boundary,
+// and the shared all-zero run (IsZeroRun) for unmaterialized backing.
+func (m *Memory) TraverseDirtyRuns(page func(pn uint64), run func(base uint64, words []uint64, kind Kind)) {
+	for di, lf := range m.dir {
+		if lf == nil {
+			continue
+		}
+		for wi, w := range lf.dirty {
+			for w != 0 {
+				bit := uint64(bits.TrailingZeros64(w))
+				w &= w - 1
+				pn := uint64(di)<<leafBits | uint64(wi)<<6 | bit
+				page(pn)
+				m.dirtyPageRuns(lf, pn, run)
+			}
+		}
+	}
+}
+
+// dirtyPageRuns emits the live runs of one page. The common case — a single
+// live block covering the whole page — resolves through the page-owner
+// metadata; partial pages fall back to a bounded scan of the block table
+// around the page extent.
+func (m *Memory) dirtyPageRuns(lf *leaf, pn uint64, run func(base uint64, words []uint64, kind Kind)) {
+	pageStart := pn * pageBytes
+	pageEnd := pageStart + pageBytes
+	p := lf.pages[pn&leafMask]
+	if b := lf.owner[pn&leafMask]; b != nil && b.Live {
+		if p == nil {
+			run(pageStart, zeroRun[:pageWords], b.Kind)
+		} else {
+			run(pageStart, p[:pageWords:pageWords], b.Kind)
+		}
+		return
+	}
+	// No full-page owner: find the blocks overlapping the page. Live blocks
+	// never overlap retained tombstones, so walking left stops at the first
+	// block (live or dead) that ends at or before the page start.
+	i := sort.Search(len(m.order), func(i int) bool { return m.order[i].Base >= pageEnd })
+	start := i
+	for start > 0 && m.order[start-1].End() > pageStart {
+		start--
+	}
+	for ; start < i; start++ {
+		b := m.order[start]
+		if !b.Live || b.End() <= pageStart || b.Base >= pageEnd {
+			continue
+		}
+		lo, hi := b.Base, b.End()
+		if lo < pageStart {
+			lo = pageStart
+		}
+		if hi > pageEnd {
+			hi = pageEnd
+		}
+		n := (hi - lo) / WordSize
+		if p == nil {
+			run(lo, zeroRun[:n], b.Kind)
+		} else {
+			w := (lo % pageBytes) / WordSize
+			run(lo, p[w:w+n:w+n], b.Kind)
 		}
 	}
 }

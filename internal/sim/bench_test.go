@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"instantcheck/internal/mem"
 	"instantcheck/internal/replay"
 )
 
@@ -32,31 +33,74 @@ func BenchmarkMachineHWInc(b *testing.B) { benchRun(b, HWInc) }
 // BenchmarkMachineSWTr measures traversal hashing at every checkpoint.
 func BenchmarkMachineSWTr(b *testing.B) { benchRun(b, SWTr) }
 
-// BenchmarkTraverseHash isolates the per-checkpoint sweep cost, sequential
-// versus sharded across goroutines. On a single-core host the parallel
-// variant mostly measures fan-out overhead; with real cores it shows the
-// sweep scaling.
+// travState is the traverse benchmark's workload: a 256-page (1 MiB) live
+// state with every word nonzero, the shape a barrier-heavy SPLASH-2 kernel
+// presents at its checkpoints.
+type travState struct{ base uint64 }
+
+const travStatePages = 256
+
+func (p *travState) Name() string { return "travstate" }
+func (p *travState) Threads() int { return 1 }
+func (p *travState) Setup(t *Thread) {
+	words := travStatePages * mem.PageWords
+	p.base = t.AllocStatic("static:travstate", words, mem.KindWord)
+	for w := 0; w < words; w++ {
+		t.Store(p.base+uint64(w)*mem.WordSize, uint64(w)|1)
+	}
+}
+func (p *travState) Worker(t *Thread) {}
+
+// BenchmarkTraverseHash isolates the per-checkpoint sweep cost on the
+// travState state: sequential and goroutine-sharded full sweeps
+// (TraverseDeltaOff pins them to the pre-delta behavior — with the cache
+// armed, repeated sweeps of an unchanged state would be near-free no-ops),
+// and the delta variant, which dirties one of every 16 pages before each
+// checkpoint and measures the O(dirty) resweep. The delta variant also
+// asserts the delta path was actually taken, so the CI bench-smoke pass
+// (one iteration of every benchmark) fails if delta mode silently
+// regresses to full sweeps.
 func BenchmarkTraverseHash(b *testing.B) {
 	for _, cfg := range []struct {
 		name   string
 		shards int
+		mode   TraverseDeltaMode
 	}{
-		{"sequential", 1},
-		{"parallel", 4},
+		{"sequential", 1, TraverseDeltaOff},
+		{"parallel", 4, TraverseDeltaOff},
+		{"delta", 1, TraverseDeltaAuto},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			m := NewMachine(Config{
 				Threads: 1, ScheduleSeed: 1, Scheme: SWTr,
-				TraverseShards: cfg.shards,
+				TraverseShards: cfg.shards, TraverseDelta: cfg.mode,
 			})
-			prog := newFuzz(1, 7, 300)
+			prog := &travState{}
 			if _, err := m.Run(prog); err != nil {
 				b.Fatal(err)
+			}
+			var dirtyAddrs []uint64
+			if cfg.mode != TraverseDeltaOff {
+				_ = m.traverseHash() // seed the page cache, clear the bitmap
+				for pn := 0; pn < travStatePages; pn += 16 {
+					dirtyAddrs = append(dirtyAddrs, prog.base+uint64(pn)*pageBytes)
+				}
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				if dirtyAddrs != nil {
+					b.StopTimer()
+					for _, a := range dirtyAddrs {
+						m.Mem.Store(a, uint64(i)|1)
+					}
+					b.StartTimer()
+				}
 				_ = m.traverseHash()
+			}
+			b.StopTimer()
+			if cfg.mode != TraverseDeltaOff && m.counters.TraverseDeltaSweeps == 0 {
+				b.Fatal("delta variant never took the delta path")
 			}
 		})
 	}

@@ -49,6 +49,15 @@ type Machine struct {
 	zeroSums *ihash.ZeroSumCache
 	travRuns []travRun
 
+	// pageSums caches per-page State-Hash contributions for dirty-page
+	// delta checkpoints. deltaReady reports the cache mirrors memory with
+	// the dirty bitmap cleared (set by the seeding full sweep, dropped by
+	// InvalidateTraverseCache); deltaPages is the per-sweep scratch list
+	// of dirty page numbers.
+	pageSums   *ihash.PageSumCache
+	deltaReady bool
+	deltaPages []uint64
+
 	checkpoints []Checkpoint
 	counters    Counters
 
@@ -266,12 +275,14 @@ func (m *Machine) capture(label string) error {
 
 // travRun is one page-bounded run of live words queued for hashing, with
 // its precomputed Σ h(a, 0) already attached so shard workers never touch
-// the (non-thread-safe) zero-sum cache.
+// the (non-thread-safe) zero-sum cache. hashRuns fills sum with the run's
+// contribution Σ h(a,v) ⊖ Σ h(a,0).
 type travRun struct {
 	base  uint64
 	words []uint64
 	kind  mem.Kind
 	zero  ihash.Digest
+	sum   ihash.Digest
 }
 
 // parallelTraverseWords is the live-state size (in words) above which the
@@ -279,67 +290,154 @@ type travRun struct {
 // (goroutine wake-ups plus a barrier) outweighs the hashing itself.
 const parallelTraverseWords = 1 << 15
 
+// pageBytes is the memory engine's page extent; runs never cross it, so
+// base/pageBytes identifies the page a run contributes to.
+const pageBytes = mem.PageWords * mem.WordSize
+
 // traverseHash computes the state hash by sweeping the static segment and
 // the live-allocation table, as SW-InstantCheck_Tr does (§4.2). Each live
 // word contributes h(a, v) ⊖ h(a, 0): its delta from the fixed zero-filled
 // initial state, the same quantity the incremental schemes accumulate. FP
 // words are rounded using the allocation table's type information.
 //
-// Two fast paths apply. Runs whose backing page was never materialized are
-// still all-zero, so their Σ h(a,v) equals their Σ h(a,0) and they cancel
-// without being visited at all. For materialized runs the Σ h(a,0) term
-// depends only on the address range, so it comes from a per-run cache
-// (warmed at allocation time) instead of a per-word hash. When the live
-// state is large — or Config.TraverseShards forces it — the runs are
-// sharded across goroutines with per-shard partial digests combined by ⊕,
-// which is bit-identical to the sequential sweep by commutativity.
+// With Config.TraverseDelta in its default auto mode only the first sweep
+// visits everything; it seeds a per-page contribution cache, and later
+// checkpoints rehash just the pages dirtied since the previous one,
+// patching the cached total by SH' = SH ⊖ C_old(p) ⊕ C_new(p). Because ⊕
+// is an abelian group operation the patched digest is bit-identical to a
+// full sequential sweep of the same state.
 func (m *Machine) traverseHash() ihash.Digest {
 	if m.zeroSums == nil {
 		m.zeroSums = ihash.NewZeroSumCache(m.hasher)
 	}
+	if m.cfg.TraverseDelta != TraverseDeltaOff {
+		if m.deltaReady {
+			return m.traverseDelta()
+		}
+		return m.traverseFull(true)
+	}
+	return m.traverseFull(false)
+}
+
+// traverseFull sweeps every live run. Two fast paths apply. Runs whose
+// backing page was never materialized are still all-zero, so their Σ h(a,v)
+// equals their Σ h(a,0) and they cancel without being visited at all. For
+// materialized runs the Σ h(a,0) term depends only on the address range, so
+// it comes from a per-run cache (warmed at allocation time) instead of a
+// per-word hash. When seed is set the sweep also rebuilds the per-page
+// contribution cache and clears the dirty bitmap, arming delta mode for
+// the following checkpoints.
+func (m *Machine) traverseFull(seed bool) ihash.Digest {
 	runs := m.travRuns[:0]
 	total := 0
 	m.Mem.TraverseRuns(func(base uint64, words []uint64, kind mem.Kind) {
 		if mem.IsZeroRun(words) {
 			return // Σ h(a,0) ⊖ Σ h(a,0) = 0: untouched runs cancel exactly
 		}
-		runs = append(runs, travRun{base, words, kind, m.zeroSums.Sum(base, len(words))})
+		runs = append(runs, travRun{base: base, words: words, kind: kind, zero: m.zeroSums.Sum(base, len(words))})
 		total += len(words)
 	})
 	m.travRuns = runs
 	m.counters.TraverseRunsHashed += uint64(len(runs))
+	m.counters.TraverseFullSweeps++
+	m.hashRuns(runs, total)
+	if !seed {
+		var sh ihash.Digest
+		for i := range runs {
+			sh = sh.Combine(runs[i].sum)
+		}
+		return sh
+	}
+	if m.pageSums == nil {
+		m.pageSums = ihash.NewPageSumCache()
+	} else {
+		m.pageSums.Reset()
+	}
+	for i := range runs {
+		m.pageSums.Add(runs[i].base/pageBytes, runs[i].sum)
+	}
+	m.Mem.ClearDirty()
+	m.deltaReady = true
+	return m.pageSums.Total()
+}
 
+// traverseDelta rehashes only the pages dirtied since the last checkpoint
+// and patches their cached contributions. A dirty page with no remaining
+// live runs (or only zero ones) replaces its contribution with Zero — the
+// §2.2 deletion algebra applied at page granularity, which is how freed
+// blocks leave the hash without a full resweep.
+func (m *Machine) traverseDelta() ihash.Digest {
+	pages := m.deltaPages[:0]
+	runs := m.travRuns[:0]
+	total := 0
+	m.Mem.TraverseDirtyRuns(
+		func(pn uint64) { pages = append(pages, pn) },
+		func(base uint64, words []uint64, kind mem.Kind) {
+			if mem.IsZeroRun(words) {
+				return // contributes 0 to its page sum either way
+			}
+			runs = append(runs, travRun{base: base, words: words, kind: kind, zero: m.zeroSums.Sum(base, len(words))})
+			total += len(words)
+		})
+	m.deltaPages = pages
+	m.travRuns = runs
+	m.counters.TraverseRunsHashed += uint64(len(runs))
+	m.counters.TraverseDeltaSweeps++
+	m.counters.TraverseDirtyPages += uint64(len(pages))
+	m.hashRuns(runs, total)
+	// Pages and runs both arrive in ascending address order, so one linear
+	// merge folds each page's run sums into its new contribution.
+	ri := 0
+	for _, pn := range pages {
+		var sum ihash.Digest
+		for ri < len(runs) && runs[ri].base/pageBytes == pn {
+			sum = sum.Combine(runs[ri].sum)
+			ri++
+		}
+		m.pageSums.Replace(pn, sum)
+	}
+	m.Mem.ClearDirty()
+	m.counters.TraverseLivePages += uint64(m.pageSums.Len())
+	return m.pageSums.Total()
+}
+
+// hashRuns fills every run's sum, sequentially or — when the gathered
+// volume is large or Config.TraverseShards forces it — across goroutine
+// shards. Each shard writes only its own runs' sum fields, so the result
+// is identical to the sequential fill regardless of shard count.
+func (m *Machine) hashRuns(runs []travRun, totalWords int) {
 	shards := m.cfg.TraverseShards
-	if shards == 0 && total >= parallelTraverseWords {
+	if shards == 0 && totalWords >= parallelTraverseWords {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	if shards <= 1 || len(runs) < 2 {
-		var sh ihash.Digest
 		for i := range runs {
-			sh = sh.Combine(m.hashRun(&runs[i]))
+			runs[i].sum = m.hashRun(&runs[i])
 		}
-		return sh
+		return
 	}
 	if shards > len(runs) {
 		shards = len(runs)
 	}
 	m.counters.TraverseShardedSweeps++
-	parts := make([]ihash.Digest, shards)
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			var d ihash.Digest
 			for i := s; i < len(runs); i += shards {
-				d = d.Combine(m.hashRun(&runs[i]))
+				runs[i].sum = m.hashRun(&runs[i])
 			}
-			parts[s] = d
 		}(s)
 	}
 	wg.Wait()
-	return ihash.CombineAll(parts...)
 }
+
+// InvalidateTraverseCache forces the next traversal checkpoint to run a
+// full (re-seeding) sweep. State surgery that bypasses the store path —
+// snapshot restores, external memory pokes in tests — must call it, since
+// the dirty bitmap cannot see such writes.
+func (m *Machine) InvalidateTraverseCache() { m.deltaReady = false }
 
 // hashRun returns Σ h(a, v) ⊖ Σ h(a, 0) for one run. It reads only
 // immutable machine state (hasher, rounding policy) and the quiescent
@@ -377,7 +475,6 @@ func (m *Machine) warmZeroSums(base uint64, words int) {
 		}
 		m.zeroSums = ihash.NewZeroSumCache(m.hasher)
 	}
-	const pageBytes = mem.PageWords * mem.WordSize
 	addr := base
 	end := base + uint64(words)*mem.WordSize
 	for addr < end {

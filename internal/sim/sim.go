@@ -153,7 +153,29 @@ type Config struct {
 	// states). The sharded sweep is bit-identical to the sequential one
 	// because ⊕ is commutative and associative.
 	TraverseShards int
+	// TraverseDelta selects the traversal scheme's checkpoint strategy.
+	// The zero value (TraverseDeltaAuto) full-sweeps the first checkpoint
+	// to seed a per-page hash-contribution cache, then rehashes only the
+	// pages dirtied since the previous checkpoint and patches the cached
+	// State Hash — O(dirty) instead of O(live) per checkpoint, and
+	// bit-identical to the full sweep because the page sums form an
+	// abelian group under ⊕/⊖.
+	TraverseDelta TraverseDeltaMode
 }
+
+// TraverseDeltaMode selects how the traversal scheme computes checkpoint
+// hashes after the first sweep.
+type TraverseDeltaMode int
+
+const (
+	// TraverseDeltaAuto (the default) enables dirty-page delta hashing:
+	// the first traversal checkpoint sweeps everything and seeds the
+	// per-page cache; later checkpoints rehash only dirty pages.
+	TraverseDeltaAuto TraverseDeltaMode = iota
+	// TraverseDeltaOff forces a full sweep at every checkpoint (the
+	// pre-delta behavior; A/B benchmarks and differential tests use it).
+	TraverseDeltaOff
+)
 
 // EventListener observes a run's memory accesses and synchronization, the
 // event feed a dynamic race detector consumes (paper §6.1). The init
@@ -247,6 +269,18 @@ type Counters struct {
 	// goroutine shards; sequential sweeps are Checkpoints minus this (for
 	// the traversal scheme).
 	TraverseShardedSweeps uint64
+	// TraverseFullSweeps and TraverseDeltaSweeps split the traversal
+	// scheme's checkpoints by strategy: full sweeps visit every live run
+	// (the seeding sweep in delta mode, every sweep with delta off);
+	// delta sweeps rehash only pages dirtied since the last checkpoint.
+	TraverseFullSweeps  uint64
+	TraverseDeltaSweeps uint64
+	// TraverseDirtyPages sums the dirty pages rehashed over all delta
+	// sweeps; TraverseLivePages sums the per-page cache size (pages with
+	// nonzero contributions) sampled at each delta sweep. Their ratio is
+	// the fraction of live state a delta checkpoint actually touched.
+	TraverseDirtyPages uint64
+	TraverseLivePages  uint64
 }
 
 // OutputStream is one file descriptor's hashed output (§4.3).
