@@ -15,6 +15,7 @@ test:
 
 lint:
 	$(GO) run ./cmd/icvet ./...
+	$(GO) run ./cmd/icvet race ./...
 
 race:
 	$(GO) test -race ./...

@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"instantcheck/internal/analysis"
@@ -36,6 +37,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "race" {
+		return runRace(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("icvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
@@ -43,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the available analyzers and exit")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: icvet [-run names] [-nosuppress] [-list] packages...")
+		fmt.Fprintln(stderr, "       icvet race [-json] [-nosuppress] packages...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -83,20 +88,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	cwd, _ := os.Getwd()
-	found := false
+	// Accumulate across every package before printing: a global sort by
+	// file, line, column then analyzer makes the report byte-identical
+	// regardless of package argument order or load interleaving.
+	opt := analysis.RunOptions{
+		NoSuppress:  *noSuppress,
+		ReportStale: *runList == "",
+	}
+	var diags []analysis.Diagnostic
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
 			fmt.Fprintf(stderr, "icvet: %v\n", err)
 			return 2
 		}
-		for _, d := range analysis.RunAnalyzers(pkg, analyzers, analysis.RunOptions{NoSuppress: *noSuppress}) {
-			found = true
-			fmt.Fprintf(stdout, "%s: [%s] %s\n", relPos(cwd, d), d.Analyzer, d.Message)
-		}
+		diags = append(diags, analysis.RunAnalyzers(pkg, analyzers, opt)...)
 	}
-	if found {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s: [%s] %s\n", relPos(cwd, d), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
 		return 1
 	}
 	return 0

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+
+	"instantcheck/internal/analysis"
+)
+
+// runRace implements the "icvet race" subcommand: the interprocedural
+// lockset/barrier race analysis over sim.Program packages. Unlike the
+// discipline analyzers, its findings are informational — candidate pairs
+// for the dynamic cross-check and the explorer, not build breakers — so
+// the exit status is 0 even when pairs are reported (2 on load errors).
+func runRace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("icvet race", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the pair list as JSON")
+	noSuppress := fs.Bool("nosuppress", false, "include pairs covered by //icvet:ignore race comments")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: icvet race [-json] [-nosuppress] packages...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	dirs, err := analysis.ExpandPatterns(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "icvet race: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(dirs[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "icvet race: %v\n", err)
+		return 2
+	}
+
+	var reports []*analysis.RaceReport
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "icvet race: %v\n", err)
+			return 2
+		}
+		rep := analysis.RaceCheck(pkg)
+		if !*noSuppress {
+			rep.Pairs = rep.Active()
+		}
+		reports = append(reports, rep)
+	}
+
+	if *jsonOut {
+		return writeRaceJSON(stdout, stderr, reports)
+	}
+	total := 0
+	for _, rep := range reports {
+		for _, p := range rep.Pairs {
+			total++
+			line := p.String()
+			if p.Suppressed {
+				line += " (suppressed)"
+			}
+			fmt.Fprintln(stdout, line)
+		}
+	}
+	fmt.Fprintf(stdout, "icvet race: %d candidate pair(s)\n", total)
+	return 0
+}
+
+// raceJSONSite is the JSON shape of one site of a pair.
+type raceJSONSite struct {
+	ID      string   `json:"id"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Kind    string   `json:"kind"`
+	Lockset []string `json:"lockset,omitempty"`
+	Guard   string   `json:"guard,omitempty"`
+}
+
+// raceJSONPair is the JSON shape of one candidate pair.
+type raceJSONPair struct {
+	Program    string       `json:"program"`
+	Kind       string       `json:"kind"`
+	Region     string       `json:"region"`
+	A          raceJSONSite `json:"a"`
+	B          raceJSONSite `json:"b"`
+	Suppressed bool         `json:"suppressed,omitempty"`
+}
+
+// raceJSONPackage is the JSON shape of one package's report.
+type raceJSONPackage struct {
+	Package string         `json:"package"`
+	Pairs   []raceJSONPair `json:"pairs"`
+}
+
+func jsonSite(s analysis.RaceSite) raceJSONSite {
+	return raceJSONSite{
+		ID:      s.ID(),
+		File:    s.Pos.Filename,
+		Line:    s.Pos.Line,
+		Col:     s.Pos.Column,
+		Kind:    s.Kind,
+		Lockset: s.Lockset,
+		Guard:   s.Guard,
+	}
+}
+
+// writeRaceJSON renders the reports as one JSON document. Pair order
+// within a package is the engine's deterministic sort, and packages keep
+// their command-line order, so the bytes are stable across runs.
+func writeRaceJSON(stdout, stderr io.Writer, reports []*analysis.RaceReport) int {
+	var doc []raceJSONPackage
+	for _, rep := range reports {
+		jp := raceJSONPackage{Package: rep.Package, Pairs: []raceJSONPair{}}
+		for _, p := range rep.Pairs {
+			jp.Pairs = append(jp.Pairs, raceJSONPair{
+				Program:    p.Program,
+				Kind:       p.Kind,
+				Region:     p.Region,
+				A:          jsonSite(p.A),
+				B:          jsonSite(p.B),
+				Suppressed: p.Suppressed,
+			})
+		}
+		doc = append(doc, jp)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(stderr, "icvet race: %v\n", err)
+		return 2
+	}
+	return 0
+}

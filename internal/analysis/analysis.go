@@ -22,12 +22,19 @@
 //   - ignoresite: IgnoreRule sites that match no allocation site literal in
 //     the package.
 //
+// Beyond the per-line analyzers, RaceCheck (cmd/icvet's "race"
+// subcommand, race.go) is an interprocedural lockset/barrier-phase race
+// analysis over whole sim.Programs, and StaleIgnores (stale.go, reported
+// under the name "staleignore") flags suppression comments that no
+// longer cover any finding.
+//
 // Findings can be suppressed with a trailing comment on (or a full-line
 // comment above) the offending line:
 //
 //	//icvet:ignore atomicity deliberate §4.1 fixture
 //
-// naming one analyzer, a comma-separated list, or "all".
+// naming one analyzer, a comma-separated list, "race" for RaceCheck
+// pairs, or "all".
 package analysis
 
 import (
@@ -102,6 +109,12 @@ type RunOptions struct {
 	// analyzer tests, which assert that deliberately-suppressed findings
 	// are still detected).
 	NoSuppress bool
+	// ReportStale adds staleignore diagnostics for //icvet:ignore
+	// comments that suppress nothing. It only takes effect when
+	// suppression is on and requires running every analyzer — a stale
+	// verdict against a partial run would be wrong — so callers using a
+	// -run filter should leave it off.
+	ReportStale bool
 }
 
 // RunAnalyzers runs the given analyzers over one loaded package and returns
@@ -114,7 +127,11 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer, opt RunOptions) []Diagnos
 		out = append(out, pass.diags...)
 	}
 	if !opt.NoSuppress {
+		full := out
 		out = filterSuppressed(pkg, out)
+		if opt.ReportStale {
+			out = append(out, StaleIgnores(pkg, full, RaceCheck(pkg).Pairs)...)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -139,6 +156,21 @@ const suppressPrefix = "icvet:ignore"
 // following line (full-line style).
 func suppressions(pkg *Package) map[string]map[int][]string {
 	out := make(map[string]map[int][]string)
+	for _, ic := range ignoreComments(pkg) {
+		lines := out[ic.pos.Filename]
+		if lines == nil {
+			lines = make(map[int][]string)
+			out[ic.pos.Filename] = lines
+		}
+		lines[ic.pos.Line] = append(lines[ic.pos.Line], ic.names...)
+		lines[ic.pos.Line+1] = append(lines[ic.pos.Line+1], ic.names...)
+	}
+	return out
+}
+
+// ignoreComments parses every //icvet:ignore comment of the package.
+func ignoreComments(pkg *Package) []ignoreComment {
+	var out []ignoreComment
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -153,15 +185,10 @@ func suppressions(pkg *Package) map[string]map[int][]string {
 				if len(fields) == 0 {
 					continue // malformed: no analyzer names
 				}
-				names := strings.Split(fields[0], ",")
-				pos := pkg.Fset.Position(c.Pos())
-				lines := out[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]string)
-					out[pos.Filename] = lines
-				}
-				lines[pos.Line] = append(lines[pos.Line], names...)
-				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+				out = append(out, ignoreComment{
+					pos:   pkg.Fset.Position(c.Pos()),
+					names: strings.Split(fields[0], ","),
+				})
 			}
 		}
 	}

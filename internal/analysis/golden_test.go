@@ -47,6 +47,33 @@ func runGolden(t *testing.T, name string) {
 	}
 
 	diags := RunAnalyzers(pkg, []*Analyzer{a}, RunOptions{NoSuppress: true})
+	checkWants(t, wants, diags)
+}
+
+// TestStaleIgnoreGolden checks StaleIgnores against its fixture: live
+// //icvet:ignore comments (covering a real finding or race pair) stay
+// silent, dead or misspelled ones are flagged.
+func TestStaleIgnoreGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "staleignore")
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	wants := parseWants(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", dir)
+	}
+	full := RunAnalyzers(pkg, All(), RunOptions{NoSuppress: true})
+	checkWants(t, wants, StaleIgnores(pkg, full, RaceCheck(pkg).Pairs))
+}
+
+// checkWants matches diagnostics against want comments one-to-one.
+func checkWants(t *testing.T, wants map[goldenKey]*regexp.Regexp, diags []Diagnostic) {
+	t.Helper()
 	matched := make(map[goldenKey]bool)
 	for _, d := range diags {
 		k := goldenKey{d.Pos.Filename, d.Pos.Line}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the race golden file from current analyzer output")
+
+// renderRaceReport renders a report in the pinned golden format: one
+// line per pair (suppressed ones marked), in the engine's sort order.
+func renderRaceReport(rep *RaceReport) string {
+	var b strings.Builder
+	for _, p := range rep.Pairs {
+		b.WriteString(p.String())
+		if p.Suppressed {
+			b.WriteString(" (suppressed)")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func loadApps(t *testing.T) *Package {
+	t.Helper()
+	dir := filepath.Join("..", "apps")
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	return pkg
+}
+
+// TestRaceAppsGolden pins the full pair inventory (suppressed pairs
+// included) of the apps package. Any engine or annotation change shows
+// up as a diff against testdata/race_apps.golden; regenerate with
+// go test -run TestRaceAppsGolden -update after reviewing the diff.
+func TestRaceAppsGolden(t *testing.T) {
+	rep := RaceCheck(loadApps(t))
+	got := renderRaceReport(rep)
+
+	golden := filepath.Join("testdata", "race_apps.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("race report differs from %s (run with -update after review)\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a crude line diff, enough to localize a mismatch.
+func diffLines(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			if w != "" {
+				b.WriteString("-" + w + "\n")
+			}
+			if g != "" {
+				b.WriteString("+" + g + "\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+// TestRaceAppsClassPolicy checks the report against the paper's Table 1
+// determinism classes: fully deterministic (class 1) apps must come out
+// clean after their benign-race annotations, while the apps the paper
+// flags as racy or nondeterministic (classes 3/4) must keep at least
+// one unsuppressed pair. streamcluster is the deliberate exception: the
+// open-flag order violation the paper's tool found stays visible.
+func TestRaceAppsClassPolicy(t *testing.T) {
+	rep := RaceCheck(loadApps(t))
+	active := make(map[string][]RacePair)
+	for _, p := range rep.Active() {
+		active[p.Program] = append(active[p.Program], p)
+	}
+
+	for _, prog := range []string{
+		"blackscholesProg", "fftProg", "luProg", "radixProg",
+		"swaptionsProg", "volrendProg", "fluidanimateProg",
+	} {
+		if pairs := active[prog]; len(pairs) != 0 {
+			t.Errorf("class-1 program %s has %d unsuppressed pairs, want 0:\n%s",
+				prog, len(pairs), renderPairs(pairs))
+		}
+	}
+
+	sc := active["streamclusterProg"]
+	if len(sc) != 1 || sc[0].Region != "static:sc.open" {
+		t.Errorf("streamclusterProg: want exactly the sc.open order-violation pair, got:\n%s", renderPairs(sc))
+	}
+
+	for _, prog := range []string{
+		"barnesProg", "cannealProg", "choleskyProg",
+		"pbzip2Prog", "radiosityProg", "sphinx3Prog",
+	} {
+		if len(active[prog]) == 0 {
+			t.Errorf("racy/nondeterministic program %s has no unsuppressed pairs", prog)
+		}
+	}
+}
+
+func renderPairs(pairs []RacePair) string {
+	var b strings.Builder
+	for _, p := range pairs {
+		b.WriteString("  " + p.String() + "\n")
+	}
+	return b.String()
+}
+
+// TestRaceDeterministic checks the report bytes are identical across
+// repeated runs over fresh loads — the byte-determinism contract of the
+// icvet race CLI.
+func TestRaceDeterministic(t *testing.T) {
+	first := renderRaceReport(RaceCheck(loadApps(t)))
+	for i := 0; i < 2; i++ {
+		again := renderRaceReport(RaceCheck(loadApps(t)))
+		if again != first {
+			t.Fatalf("run %d differs from first run:\n%s", i+2, diffLines(first, again))
+		}
+	}
+}

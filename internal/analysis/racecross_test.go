@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"instantcheck/internal/apps"
+	"instantcheck/internal/racefilter"
+	"instantcheck/internal/sim"
+)
+
+// TestRaceCrossCheck is the soundness audit of the static race engine:
+// every race the dynamic happens-before detector observes over the 17
+// workloads (plus the three Figure 7 seeded-bug variants) must map, by
+// unordered file:line site identity, to a candidate pair the static
+// analysis produced — suppressed pairs included, since //icvet:ignore
+// race only filters the report, not the engine. A miss here means a
+// precision heuristic (owner partition, tid guard, episode model)
+// discarded a real race.
+func TestRaceCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-check replays every workload; skipped with -short")
+	}
+	rep := RaceCheck(loadApps(t))
+
+	// Static site-pair index at the granularity dynamic attribution can
+	// reproduce: unordered {file:line, file:line}.
+	static := make(map[string]bool)
+	for _, p := range rep.Pairs {
+		static[lineKey(p.A.FileLine(), p.B.FileLine())] = true
+	}
+
+	type variant struct {
+		name  string
+		build func() sim.Program
+	}
+	var variants []variant
+	for _, a := range apps.Registry() {
+		a := a
+		variants = append(variants, variant{a.Name, func() sim.Program {
+			return a.Build(apps.Options{Threads: 4, Small: true})
+		}})
+		if a.HostsBug != apps.BugNone {
+			bug := a.HostsBug
+			variants = append(variants, variant{a.Name + "+bug", func() sim.Program {
+				return a.Build(apps.Options{Threads: 4, Small: true, Bug: bug})
+			}})
+		}
+	}
+
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			races, err := racefilter.Detect(v.build, racefilter.Config{
+				Threads: 4, Runs: 4, BaseSeed: 1, InputSeed: 1,
+			})
+			if err != nil {
+				t.Fatalf("Detect: %v", err)
+			}
+			for _, r := range races {
+				if !static[lineKey(r.SiteA, r.SiteB)] {
+					t.Errorf("dynamic race %s ~ %s (%s, site %s) has no static candidate pair",
+						r.SiteA, r.SiteB, r.Kind, r.Site)
+				}
+			}
+		})
+	}
+}
+
+// lineKey builds an unordered pair key from two file:line site strings.
+func lineKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return fmt.Sprintf("%s~%s", a, b)
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// This file implements stale //icvet:ignore detection: a suppression
+// comment that no longer covers any diagnostic (for example after a
+// refactor moves the racy line out from under it) is silently dead —
+// worse than no comment, because it documents a hazard that is not
+// there and will silently swallow a future finding on whatever line
+// drifts beneath it.
+
+// staleName is the analyzer name stale-ignore diagnostics report under.
+const staleName = "staleignore"
+
+// ignoreComment is one parsed //icvet:ignore comment.
+type ignoreComment struct {
+	pos   token.Position
+	names []string
+}
+
+// StaleIgnores reports every //icvet:ignore comment of the package that
+// suppresses nothing. diags must be the full pre-suppression diagnostic
+// set of the package (RunAnalyzers with NoSuppress), and pairs the full
+// RaceCheck pair set: a comment is live when it covers a diagnostic of a
+// named analyzer, or — for the "race" name — a site of a candidate race
+// pair. Names that match no analyzer are reported as unknown.
+func StaleIgnores(pkg *Package, diags []Diagnostic, pairs []RacePair) []Diagnostic {
+	diagLines := make(map[string]map[int]map[string]bool)
+	for _, d := range diags {
+		lines := diagLines[d.Pos.Filename]
+		if lines == nil {
+			lines = make(map[int]map[string]bool)
+			diagLines[d.Pos.Filename] = lines
+		}
+		if lines[d.Pos.Line] == nil {
+			lines[d.Pos.Line] = make(map[string]bool)
+		}
+		lines[d.Pos.Line][d.Analyzer] = true
+	}
+	raceLines := raceSuppressionUsed(pairs)
+
+	var out []Diagnostic
+	for _, c := range ignoreComments(pkg) {
+		for _, name := range c.names {
+			if name != "all" && name != "race" && name != staleName && ByName(name) == nil {
+				out = append(out, Diagnostic{
+					Pos:      c.pos,
+					Analyzer: staleName,
+					Message:  fmt.Sprintf("//icvet:ignore names unknown analyzer %q", name),
+				})
+				continue
+			}
+			used := false
+			for _, line := range []int{c.pos.Line, c.pos.Line + 1} {
+				switch name {
+				case "all":
+					if len(diagLines[c.pos.Filename][line]) > 0 || raceLines[c.pos.Filename][line] {
+						used = true
+					}
+				case "race":
+					if raceLines[c.pos.Filename][line] {
+						used = true
+					}
+				default:
+					if diagLines[c.pos.Filename][line][name] {
+						used = true
+					}
+				}
+			}
+			if !used {
+				out = append(out, Diagnostic{
+					Pos:      c.pos,
+					Analyzer: staleName,
+					Message:  fmt.Sprintf("stale //icvet:ignore %s: no %s finding on this or the next line", name, name),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := comparePos(out[i].Pos, out[j].Pos); c != 0 {
+			return c < 0
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}

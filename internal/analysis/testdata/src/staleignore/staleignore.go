@@ -1,0 +1,36 @@
+// Package staleignore is a golden fixture for stale //icvet:ignore
+// detection: live suppressions (covering a real finding or race pair)
+// must stay silent, dead ones must be flagged.
+package staleignore
+
+import (
+	"instantcheck/internal/mem"
+	"instantcheck/internal/sim"
+)
+
+type prog struct {
+	shared uint64
+}
+
+func (p *prog) Setup(t *sim.Thread) {
+	p.shared = t.AllocStatic("si.shared", 1, mem.KindWord)
+}
+
+func (p *prog) Worker(t *sim.Thread) {
+	// Live: the unlocked RMW below is a real atomicity finding.
+	//icvet:ignore atomicity deliberate fixture RMW
+	t.Store(p.shared, t.Load(p.shared)+1)
+
+	// Live: the unsynchronized store races with itself across threads.
+	//icvet:ignore race deliberate fixture race
+	t.Store(p.shared, 7)
+
+	//icvet:ignore atomicity dead after refactor — want `stale //icvet:ignore atomicity: no atomicity finding on this or the next line`
+	t.Compute(1)
+
+	//icvet:ignore nosuchanalyzer typo in the name — want `names unknown analyzer "nosuchanalyzer"`
+	t.Compute(1)
+
+	//icvet:ignore race dead after refactor — want `stale //icvet:ignore race: no race finding on this or the next line`
+	t.Compute(1)
+}

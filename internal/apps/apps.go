@@ -230,6 +230,7 @@ func (b barrier) await(t *sim.Thread) { t.BarrierWait(b.b) }
 // addr is non-zero. Hand-coded synchronization is not a checkpoint (the
 // paper checks only at pthread barriers and run end).
 func spinWaitFlag(t *sim.Thread, addr uint64) {
+	//icvet:ignore race hand-coded flag synchronization: the spin read is ordered by the writer raising the flag
 	for t.Load(addr) == 0 {
 		t.Yield()
 	}

@@ -73,14 +73,16 @@ func (p *fftProg) Worker(t *sim.Thread) {
 			ang := -2 * math.Pi * float64(off) / float64(half*2)
 			wr, wi := math.Cos(ang), math.Sin(ang)
 			ar, ai := t.LoadF(idx(p.re, i)), t.LoadF(idx(p.im, i))
+			//icvet:ignore race the stage-s butterfly index map is a bijection: no two threads share an (i, i+half) pair
 			br, bi := t.LoadF(idx(p.re, j)), t.LoadF(idx(p.im, j))
 			tr := wr*br - wi*bi
 			ti := wr*bi + wi*br
 			t.Compute(90) // sin/cos twiddle generation + complex multiply-add
 			t.StoreF(idx(p.re, i), ar+tr)
 			t.StoreF(idx(p.im, i), ai+ti)
+			//icvet:ignore race butterfly bijection, as above: index j belongs to this thread's butterflies only
 			t.StoreF(idx(p.re, j), ar-tr)
-			t.StoreF(idx(p.im, j), ai-ti)
+			t.StoreF(idx(p.im, j), ai-ti) //icvet:ignore race butterfly bijection, as above
 		}
 		p.stage.await(t)
 	}

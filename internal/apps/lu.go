@@ -111,6 +111,7 @@ func (p *luProg) loadBlock(t *sim.Thread, bi, bj int, buf []float64) {
 func (p *luProg) storeBlock(t *sim.Thread, bi, bj int, buf []float64) {
 	for i := 0; i < p.bs; i++ {
 		for j := 0; j < p.bs; j++ {
+			//icvet:ignore race 2-D scatter ownership: storeBlock only targets blocks blockOwner assigns to this thread, and phase barriers order cross-block reads
 			t.StoreF(p.bat(bi, bj, i, j), buf[i*p.bs+j])
 		}
 	}

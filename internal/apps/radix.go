@@ -120,6 +120,7 @@ func (p *radixProg) Worker(t *sim.Thread) {
 		// Phase 3: scatter my span using my rank bases.
 		var next [radixBuckets]uint64
 		for d := 0; d < radixBuckets; d++ {
+			//icvet:ignore race ordered by the rankReady flag protocol above (the Figure 7c bug deliberately skips it)
 			next[d] = t.Load(idx(p.rankBase, tid*radixBuckets+d))
 		}
 		for i := lo; i < hi; i++ {
@@ -128,6 +129,7 @@ func (p *radixProg) Worker(t *sim.Thread) {
 			pos := next[d] % uint64(p.n) // stays in bounds even with stale bases
 			next[d]++
 			t.Compute(24) // digit extraction + rank bookkeeping
+			//icvet:ignore race the global rank bases partition dst: each (thread, digit) scatters into its own disjoint slot range
 			t.Store(idx(dst, int(pos)), k)
 		}
 		p.permDone.await(t)

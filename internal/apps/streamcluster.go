@@ -154,6 +154,7 @@ func (p *streamclusterProg) Worker(t *sim.Thread) {
 			p.pgainBar.await(t) // this iteration's decisions stable from here
 			sum := 0.0
 			for i := lo; i < hi; i++ {
+				//icvet:ignore race parity double-buffer: readers use the previous phase's buffer, disjoint from the one being written
 				if t.Load(idx(p.openBuf, buf+i)) == 1 {
 					sum += t.LoadF(idx(p.data, i*p.dims+2))
 					t.Compute(2 * p.dims) // distance evaluation over the dimensions

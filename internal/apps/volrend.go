@@ -106,6 +106,7 @@ func (p *volrendProg) Worker(t *sim.Thread) {
 	for i := lo; i < hi; i++ {
 		o := t.Load(idx(p.opacity, i))
 		if i+1 < total {
+			//icvet:ignore race benign neighbor read (§6.1): either order yields an opacity within the clamp, and the adaptive ray count is insensitive to it
 			if n := t.Load(idx(p.opacity, i+1)); n > o {
 				o = n
 			}
@@ -166,6 +167,7 @@ func (p *volrendProg) handBarrier(t *sim.Thread) {
 	c := t.Load(p.hcCount) + 1
 	if c == uint64(p.nt) {
 		t.Store(p.hcCount, 0)
+		//icvet:ignore race hand-coded sense-reversing barrier: the sense flip releases the spinners by design
 		t.Store(p.hcSense, 1-mySense)
 		t.Unlock(p.hcLock)
 		return

@@ -56,6 +56,11 @@ type Options struct {
 	RoundFP bool
 	// InputSeed fixes the program's replayed input.
 	InputSeed int64
+	// SwitchInterval is the mean operation count between random forced
+	// preemptions for FindNondeterminism runs (<= 0 selects the
+	// scheduler default). Systematic ignores it: its decider controls
+	// switching through PreemptEvery.
+	SwitchInterval int
 }
 
 // Result summarizes an exploration.

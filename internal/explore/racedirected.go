@@ -1,0 +1,159 @@
+package explore
+
+// Race-directed search: the static `icvet race` report names candidate
+// racy site pairs; this file uses them as preemption hints. Uniform
+// random search only exposes a rare atomicity window when the scheduler
+// happens to switch threads inside it, so the expected number of runs
+// to surface a bug like Figure 7(b) is large. Forcing a scheduling
+// decision immediately before every access at a statically-implicated
+// site concentrates the schedule randomness exactly where a race can
+// change the outcome.
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"instantcheck/internal/ihash"
+	"instantcheck/internal/replay"
+	"instantcheck/internal/sched"
+	"instantcheck/internal/sim"
+)
+
+// RaceHint names one candidate racy site pair from the static race
+// report, at the "dir/file.go:line" granularity dynamic pc attribution
+// can reproduce (analysis.RaceSite.FileLine).
+type RaceHint struct {
+	SiteA, SiteB string
+}
+
+// hintSites collects the distinct sites named by hints.
+func hintSites(hints []RaceHint) map[string]bool {
+	sites := make(map[string]bool, 2*len(hints))
+	for _, h := range hints {
+		sites[h.SiteA] = true
+		sites[h.SiteB] = true
+	}
+	return sites
+}
+
+// shortSite keeps the final directory and base name of a source path,
+// matching the site identity of the static report.
+func shortSite(file string) string {
+	parts := strings.Split(filepath.ToSlash(file), "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}
+
+// raceDirector is an EventListener that forces a scheduling decision
+// immediately before every access at a hinted site. OnRead/OnWrite fire
+// before the operation commits, so the preemption lands inside the racy
+// window (between a load and the store of an unlocked read-modify-write,
+// for example) rather than after it has closed.
+type raceDirector struct {
+	m     *sim.Machine
+	sites map[string]bool
+	pcs   map[uintptr]bool // memoized pc -> hinted
+	hits  int
+}
+
+func (d *raceDirector) hinted(pc uintptr) bool {
+	v, ok := d.pcs[pc]
+	if !ok {
+		file, line := sim.SitePos(pc)
+		v = d.sites[fmt.Sprintf("%s:%d", shortSite(file), line)]
+		d.pcs[pc] = v
+	}
+	return v
+}
+
+func (d *raceDirector) maybePreempt(tid int, pc uintptr) {
+	if tid < 0 || !d.hinted(pc) {
+		return
+	}
+	sch := d.m.Scheduler()
+	if sch == nil {
+		return
+	}
+	d.hits++
+	sch.Preempt(tid)
+}
+
+func (d *raceDirector) OnRead(tid int, addr uint64, pc uintptr)  { d.maybePreempt(tid, pc) }
+func (d *raceDirector) OnWrite(tid int, addr uint64, pc uintptr) { d.maybePreempt(tid, pc) }
+func (d *raceDirector) OnAcquire(int, *sched.Mutex)              {}
+func (d *raceDirector) OnRelease(int, *sched.Mutex)              {}
+func (d *raceDirector) OnBarrier(int)                            {}
+
+// DirectedResult summarizes a FindNondeterminism search.
+type DirectedResult struct {
+	// Runs is the number of schedules executed.
+	Runs int
+	// Found is true when two schedules produced different final hashes.
+	Found bool
+	// Hits counts directed preemptions across all runs (0 for uniform
+	// search).
+	Hits int
+}
+
+// FindNondeterminism runs up to maxRuns randomly scheduled executions
+// and stops as soon as two runs disagree on the final State Hash — the
+// InstantCheck nondeterminism verdict. With hints, every access at a
+// hinted site forces a scheduling decision (race-directed search); with
+// none, the schedules are uniform random, the baseline it is measured
+// against.
+func FindNondeterminism(build func() sim.Program, o Options, hints []RaceHint, maxRuns int) (*DirectedResult, error) {
+	if o.Threads <= 0 {
+		return nil, fmt.Errorf("explore: Threads must be positive")
+	}
+	scheme := o.Scheme
+	if scheme == sim.Native {
+		scheme = sim.HWInc
+	}
+	env := replay.NewEnv(o.InputSeed)
+	addrLog := replay.NewAddrLog()
+	sites := hintSites(hints)
+
+	res := &DirectedResult{}
+	var first ihash.Digest
+	for run := 0; run < maxRuns; run++ {
+		cfg := sim.Config{
+			Threads:        o.Threads,
+			ScheduleSeed:   int64(run) + 1,
+			SwitchInterval: o.SwitchInterval,
+			Scheme:         scheme,
+			RoundFP:        o.RoundFP,
+			Env:            env,
+			AddrLog:        addrLog,
+		}
+		var d *raceDirector
+		if len(hints) > 0 {
+			d = &raceDirector{sites: sites, pcs: make(map[uintptr]bool)}
+			cfg.Events = d
+		}
+		m := sim.NewMachine(cfg)
+		if d != nil {
+			d.m = m
+		}
+		r, err := m.Run(build())
+		res.Runs = run + 1
+		if d != nil {
+			res.Hits += d.hits
+		}
+		if err != nil {
+			return nil, fmt.Errorf("explore: directed run %d: %w", run+1, err)
+		}
+		h := r.FinalSH()
+		if run == 0 {
+			first = h
+			continue
+		}
+		if h != first {
+			res.Found = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

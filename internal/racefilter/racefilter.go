@@ -21,7 +21,9 @@ package racefilter
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"instantcheck/internal/mem"
 	"instantcheck/internal/replay"
@@ -68,18 +70,26 @@ type Race struct {
 	Site string
 	// Offset is the word offset within the site's block.
 	Offset int
+	// SiteA and SiteB are the source sites ("file.go:line") of the two
+	// racing accesses, in the order named by Kind (A first). They carry
+	// the same file:line identity the static `icvet race` analysis
+	// reports, so a dynamic race can be checked against the static
+	// candidate-pair report (the soundness cross-check).
+	SiteA, SiteB string
 }
 
-// epoch is a (thread, clock) pair, FastTrack-style.
+// epoch is a (thread, clock) pair, FastTrack-style, carrying the source
+// pc of the access for site attribution.
 type epoch struct {
 	tid   int
 	clock uint64
+	pc    uintptr
 }
 
 // addrState is the per-address detector metadata.
 type addrState struct {
 	write epoch
-	reads map[int]uint64 // tid -> clock of last read
+	reads map[int]epoch // tid -> last read epoch
 }
 
 // Detector is a vector-clock happens-before race detector implementing
@@ -145,33 +155,33 @@ func join(dst, src []uint64) {
 }
 
 // OnRead implements sim.EventListener.
-func (d *Detector) OnRead(tid int, addr uint64) {
+func (d *Detector) OnRead(tid int, addr uint64, pc uintptr) {
 	d.begin(tid)
 	s := d.slot(tid)
 	st := d.state(addr)
 	if st.write.clock > 0 && st.write.tid != s && st.write.clock > d.vc[s][st.write.tid] {
-		d.report(addr, WriteRead, st.write.tid, s)
+		d.report(addr, WriteRead, st.write.tid, s, st.write.pc, pc)
 	}
 	if st.reads == nil {
-		st.reads = make(map[int]uint64)
+		st.reads = make(map[int]epoch)
 	}
-	st.reads[s] = d.vc[s][s]
+	st.reads[s] = epoch{tid: s, clock: d.vc[s][s], pc: pc}
 }
 
 // OnWrite implements sim.EventListener.
-func (d *Detector) OnWrite(tid int, addr uint64) {
+func (d *Detector) OnWrite(tid int, addr uint64, pc uintptr) {
 	d.begin(tid)
 	s := d.slot(tid)
 	st := d.state(addr)
 	if st.write.clock > 0 && st.write.tid != s && st.write.clock > d.vc[s][st.write.tid] {
-		d.report(addr, WriteWrite, st.write.tid, s)
+		d.report(addr, WriteWrite, st.write.tid, s, st.write.pc, pc)
 	}
-	for rt, rc := range st.reads {
-		if rt != s && rc > d.vc[s][rt] {
-			d.report(addr, ReadWrite, rt, s)
+	for rt, re := range st.reads {
+		if rt != s && re.clock > d.vc[s][rt] {
+			d.report(addr, ReadWrite, rt, s, re.pc, pc)
 		}
 	}
-	st.write = epoch{tid: s, clock: d.vc[s][s]}
+	st.write = epoch{tid: s, clock: d.vc[s][s], pc: pc}
 	st.reads = nil
 }
 
@@ -224,12 +234,36 @@ func (d *Detector) state(addr uint64) *addrState {
 	return st
 }
 
-func (d *Detector) report(addr uint64, kind AccessKind, a, b int) {
+func (d *Detector) report(addr uint64, kind AccessKind, a, b int, pcA, pcB uintptr) {
 	k := raceKey{addr, kind}
 	if _, dup := d.races[k]; dup {
 		return
 	}
-	d.races[k] = &Race{Addr: addr, Kind: kind, TidA: a, TidB: b}
+	d.races[k] = &Race{
+		Addr: addr, Kind: kind, TidA: a, TidB: b,
+		SiteA: siteString(pcA), SiteB: siteString(pcB),
+	}
+}
+
+// siteString renders an access pc as "file.go:line" with the path
+// shortened to its last two components — stable across checkouts, and the
+// form the static race report's site IDs reduce to for matching.
+func siteString(pc uintptr) string {
+	file, line := sim.SitePos(pc)
+	if file == "" {
+		return "?"
+	}
+	return fmt.Sprintf("%s:%d", shortPath(file), line)
+}
+
+// shortPath keeps the final directory and base name of a source path.
+func shortPath(file string) string {
+	short := filepath.ToSlash(file)
+	parts := strings.Split(short, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
 }
 
 // Races returns the detected races sorted by address then kind.

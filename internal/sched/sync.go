@@ -106,6 +106,9 @@ func NewCond(name string, m *Mutex) *Cond {
 	return &Cond{m: m, name: name, reason: "cond " + name}
 }
 
+// Mutex returns the mutex the condition variable is tied to.
+func (c *Cond) Mutex() *Mutex { return c.m }
+
 // Wait atomically releases the mutex, blocks tid until signalled, then
 // reacquires the mutex before returning. As with pthreads, spurious
 // interleavings mean callers must re-check their predicate in a loop.

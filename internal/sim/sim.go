@@ -181,11 +181,17 @@ const (
 // event feed a dynamic race detector consumes (paper §6.1). The init
 // (setup) thread reports tid -1. Checker-internal writes (the zeroing of
 // freed blocks) are not reported; they are not program accesses.
+//
+// pc identifies the program source site of the access: the caller's
+// program counter, resolvable to a file:line with SitePos. It is captured
+// only when a listener is attached, so unobserved runs pay nothing, and it
+// lets dynamic findings (races, preemption hints) be attributed to the
+// same source sites the static analyzers report.
 type EventListener interface {
-	// OnRead reports a data load.
-	OnRead(tid int, addr uint64)
-	// OnWrite reports a data store.
-	OnWrite(tid int, addr uint64)
+	// OnRead reports a data load from the source site identified by pc.
+	OnRead(tid int, addr uint64, pc uintptr)
+	// OnWrite reports a data store from the source site identified by pc.
+	OnWrite(tid int, addr uint64, pc uintptr)
 	// OnAcquire reports a mutex acquisition (after the lock is held).
 	OnAcquire(tid int, mu *sched.Mutex)
 	// OnRelease reports a mutex release (before the lock is dropped).

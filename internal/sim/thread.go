@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"runtime"
 
 	"instantcheck/internal/mem"
 	"instantcheck/internal/mhm"
@@ -64,7 +65,7 @@ func (t *Thread) Load(addr uint64) uint64 {
 	t.ctr.Loads++
 	t.yield()
 	if ev := t.ev; ev != nil {
-		ev.OnRead(t.tid, addr)
+		ev.OnRead(t.tid, addr, callerPC())
 	}
 	if v, ok := t.mm.LoadFast(addr); ok {
 		return v
@@ -74,7 +75,38 @@ func (t *Thread) Load(addr uint64) uint64 {
 
 // LoadF reads the float64 at addr.
 func (t *Thread) LoadF(addr uint64) float64 {
-	return math.Float64frombits(t.Load(addr))
+	t.charge(CostLoad)
+	t.ctr.Loads++
+	t.yield()
+	if ev := t.ev; ev != nil {
+		ev.OnRead(t.tid, addr, callerPC())
+	}
+	if v, ok := t.mm.LoadFast(addr); ok {
+		return math.Float64frombits(v)
+	}
+	return math.Float64frombits(t.mm.Load(addr))
+}
+
+// callerPC returns the pc of the instrumented call site two frames up:
+// the program line that invoked the Thread accessor callerPC sits in. It
+// runs only when an EventListener is attached.
+func callerPC() uintptr {
+	var pcs [1]uintptr
+	// Skip runtime.Callers, callerPC, and the Thread accessor itself.
+	if runtime.Callers(3, pcs[:]) == 0 {
+		return 0
+	}
+	return pcs[0]
+}
+
+// SitePos resolves an access pc reported to an EventListener into the
+// source file and line of the instrumented call, following inlining.
+func SitePos(pc uintptr) (file string, line int) {
+	if pc == 0 {
+		return "", 0
+	}
+	frame, _ := runtime.CallersFrames([]uintptr{pc}).Next()
+	return frame.File, frame.Line
 }
 
 // Store writes an integer word at addr. The address must belong to a
@@ -83,16 +115,24 @@ func (t *Thread) LoadF(addr uint64) float64 {
 // type annotation so the incremental and traversal schemes always round the
 // same words.
 func (t *Thread) Store(addr, value uint64) {
-	t.store(addr, value, false)
+	var pc uintptr
+	if t.ev != nil {
+		pc = callerPC()
+	}
+	t.store(addr, value, false, pc)
 }
 
 // StoreF writes a float64 at addr; the address must belong to a KindFloat
 // block. FP stores are the ones routed through the MHM round-off unit.
 func (t *Thread) StoreF(addr uint64, value float64) {
-	t.store(addr, math.Float64bits(value), true)
+	var pc uintptr
+	if t.ev != nil {
+		pc = callerPC()
+	}
+	t.store(addr, math.Float64bits(value), true, pc)
 }
 
-func (t *Thread) store(addr, value uint64, isFP bool) {
+func (t *Thread) store(addr, value uint64, isFP bool, pc uintptr) {
 	t.charge(CostStore)
 	t.ctr.Stores++
 	if isFP {
@@ -100,7 +140,7 @@ func (t *Thread) store(addr, value uint64, isFP bool) {
 	}
 	t.checkKind(addr, isFP)
 	if ev := t.ev; ev != nil {
-		ev.OnWrite(t.tid, addr)
+		ev.OnWrite(t.tid, addr, pc)
 	}
 	switch t.m.cfg.Scheme {
 	case SWIncNonAtomic:
@@ -221,10 +261,19 @@ func (t *Thread) BarrierWait(b *sched.Barrier) {
 	b.Await(t.m.sch, t.tid)
 }
 
-// CondWait waits on c (its mutex must be held).
+// CondWait waits on c (its mutex must be held). The internal mutex
+// release/reacquire is surfaced to the event listener: without those
+// edges a happens-before detector would see the waiter's critical
+// section as unordered against every other one.
 func (t *Thread) CondWait(c *sched.Cond) {
 	t.charge(CostLock)
+	if ev := t.ev; ev != nil {
+		ev.OnRelease(t.tid, c.Mutex())
+	}
 	c.Wait(t.m.sch, t.tid)
+	if ev := t.ev; ev != nil {
+		ev.OnAcquire(t.tid, c.Mutex())
+	}
 }
 
 // CondSignal wakes one waiter of c.
