@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all test race race-farm bench bench-json bench-smoke obs-smoke build table1 table2 figures everything cover fmt vet lint
+.PHONY: all test race race-farm bench bench-json bench-fleet-json bench-smoke obs-smoke fleet-smoke build table1 table2 figures everything cover fmt vet lint
 
 all: test lint
 
 # Build every command, the checkfarm daemon included, into ./bin.
 build:
-	$(GO) build -o bin/ ./cmd/instantcheck ./cmd/statediff ./cmd/icvet ./cmd/checkd
+	$(GO) build -o bin/ ./cmd/instantcheck ./cmd/statediff ./cmd/icvet ./cmd/checkd ./cmd/checkworker
 
 test:
 	$(GO) test ./...
@@ -39,6 +39,13 @@ bench-smoke:
 obs-smoke:
 	$(GO) run ./cmd/obssmoke
 
+# Fleet smoke gate: boot a real checkd -fleet plus four checkworker
+# processes, run the full 17-app campaign, SIGKILL one worker mid-shard,
+# and require every report byte-identical to a plain single-node daemon's
+# (see cmd/fleetsmoke).
+fleet-smoke:
+	$(GO) run ./cmd/fleetsmoke
+
 # The tier-1 perf suite, recorded into the repo's benchmark trajectory as an
 # interleaved A/B over the traversal delta cache: each round runs the whole
 # suite once with ICHECK_TRAVERSE_DELTA=off (the pre-delta full sweep —
@@ -49,7 +56,7 @@ obs-smoke:
 BENCH_OUT    ?= BENCH_5.json
 BENCHTIME    ?= 2x
 BENCH_ROUNDS ?= 3
-BENCH_REGEX  ?= SchemeAblation|CheckApp|FarmThroughput|MemStoreLoad|AllocFree|TraverseHash|ZeroSumCache|WriteBatch|HashWord|AccumulatorWrite
+BENCH_REGEX  ?= SchemeAblation|CheckApp|FarmThroughput$$|MemStoreLoad|AllocFree|TraverseHash|ZeroSumCache|WriteBatch|HashWord|AccumulatorWrite
 BENCH_PKGS   = . ./internal/mem ./internal/sim ./internal/ihash
 bench-json:
 	@rm -f $(BENCH_OUT).base.tmp $(BENCH_OUT).after.tmp
@@ -60,6 +67,23 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section baseline -note "make bench-json, delta off, benchtime=$(BENCHTIME), rounds=$(BENCH_ROUNDS)" < $(BENCH_OUT).base.tmp
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section after -note "make bench-json, delta auto, benchtime=$(BENCHTIME), rounds=$(BENCH_ROUNDS)" < $(BENCH_OUT).after.tmp
 	@rm -f $(BENCH_OUT).base.tmp $(BENCH_OUT).after.tmp
+
+# The fleet scaling benchmark, recorded as the repo's BENCH_6 trajectory:
+# the farm-throughput campaign's replay stage dispatched through a real
+# coordinator + worker fleet over HTTP, at 1/2/4 workers, in both the
+# natural-speed and the emulated-remote-latency variant (see
+# BenchmarkFarmThroughputFleet for why both exist). benchjson averages the
+# repeated rounds.
+FLEET_BENCH_OUT    ?= BENCH_6.json
+FLEET_BENCHTIME    ?= 2x
+FLEET_BENCH_ROUNDS ?= 3
+bench-fleet-json:
+	@rm -f $(FLEET_BENCH_OUT).tmp
+	for r in $$(seq $(FLEET_BENCH_ROUNDS)); do \
+		$(GO) test -run=NONE -bench='FarmThroughputFleet' -benchmem -benchtime=$(FLEET_BENCHTIME) . >> $(FLEET_BENCH_OUT).tmp || exit 1; \
+	done
+	$(GO) run ./cmd/benchjson -out $(FLEET_BENCH_OUT) -section fleet -note "make bench-fleet-json, benchtime=$(FLEET_BENCHTIME), rounds=$(FLEET_BENCH_ROUNDS); fleet-remote-workers emulates 10ms/run remote executors" < $(FLEET_BENCH_OUT).tmp
+	@rm -f $(FLEET_BENCH_OUT).tmp
 
 table1:
 	$(GO) run ./cmd/instantcheck table1

@@ -1,0 +1,101 @@
+package instantcheck
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"instantcheck/internal/farm"
+	"instantcheck/internal/fleet"
+	"instantcheck/internal/sim"
+)
+
+// BenchmarkFarmThroughputFleet extends BenchmarkFarmThroughput past process
+// boundaries: the same campaign's replay stage dispatched through a fleet
+// coordinator to N pull-based workers over HTTP (see internal/fleet). Two
+// variants:
+//
+//   - fleet-workers=N: workers replay at natural speed. On a multi-core host
+//     this scales like the in-process pool; on a single-CPU host it mostly
+//     measures that the lease/stream protocol adds little overhead.
+//   - fleet-remote-workers=N: each worker sleeps 10ms before every run,
+//     emulating the per-run latency of a remote execution backend (a real
+//     fleet's workers run on other machines; the simulator's replay here
+//     stands in for that remote compute). This variant isolates the
+//     coordinator's scaling behavior — wall-clock must shrink toward 1/N —
+//     and is the one the EXPERIMENTS.md worker-count table records.
+//
+// The recording run happens once, outside the timer: the benchmark measures
+// the distributed replay stage, which is where a fleet spends its time.
+func BenchmarkFarmThroughputFleet(b *testing.B) {
+	spec := farm.JobSpec{App: "radix", Runs: 33, Threads: 4, Seed: 50, InputSeed: 7, Small: true}
+	camp, build, err := spec.Resolve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := camp.NewRunner(build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := runner.Record(); err != nil {
+		b.Fatal(err)
+	}
+	need := make([]int, 0, spec.Runs-1)
+	for run := 1; run < spec.Runs; run++ {
+		need = append(need, run)
+	}
+
+	variants := []struct {
+		name    string
+		latency time.Duration
+	}{
+		{"fleet-workers", 0},
+		{"fleet-remote-workers", 10 * time.Millisecond},
+	}
+	for _, v := range variants {
+		for _, n := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s=%d", v.name, n), func(b *testing.B) {
+				coord := fleet.NewCoordinator(fleet.CoordinatorOptions{
+					ShardSize: 4,
+					LeaseTTL:  10 * time.Second,
+				})
+				ts := httptest.NewServer(coord.Handler())
+				ctx, cancel := context.WithCancel(context.Background())
+				var wg sync.WaitGroup
+				defer func() {
+					cancel()
+					wg.Wait()
+					ts.Close()
+				}()
+				for i := 0; i < n; i++ {
+					w, err := fleet.NewWorker(fleet.WorkerOptions{
+						Name:         fmt.Sprintf("bw%d", i),
+						Coordinator:  ts.URL,
+						CacheDir:     b.TempDir(),
+						PollInterval: 2 * time.Millisecond,
+						RunLatency:   v.latency,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						w.Run(ctx)
+					}()
+				}
+				deliver := func(run int, res *sim.Result) error { return nil }
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					id := farm.JobID(fmt.Sprintf("bench%06d", i))
+					if err := coord.Dispatch(ctx, id, spec, runner, need, deliver); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

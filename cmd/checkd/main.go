@@ -8,6 +8,7 @@
 //
 //	checkd -addr :8347 -store farm.log [-run-workers N] [-job-workers N]
 //	       [-read-timeout D] [-write-timeout D] [-idle-timeout D] [-pprof]
+//	       [-fleet] [-shard-size N] [-lease-ttl D]
 //
 // The API (see internal/farm):
 //
@@ -21,6 +22,18 @@
 //	GET    /healthz                  liveness + queue summary (JSON)
 //	GET    /metrics                  Prometheus text exposition
 //	GET    /debug/pprof/...          Go profiling (only with -pprof)
+//
+// With -fleet the daemon stops executing replay runs itself and instead
+// coordinates a worker fleet (see internal/fleet and cmd/checkworker):
+//
+//	POST /api/v1/fleet/lease          worker requests a run-shard lease
+//	POST /api/v1/fleet/heartbeat      worker renews its lease
+//	POST /api/v1/fleet/results        worker streams result batches back
+//	GET  /api/v1/fleet/blob/{digest}  content-addressed replay bundle
+//
+// In fleet mode /metrics merges the checkfarm and checkfleet families into
+// one exposition payload; the merge is linted at startup so a metric-name
+// collision between the two registries is a crash, not a corrupt scrape.
 //
 // The HTTP server enforces read, write and idle timeouts (flags above) so
 // a slow or stuck client cannot pin daemon connections indefinitely.
@@ -45,17 +58,27 @@ import (
 	"time"
 
 	"instantcheck/internal/farm"
+	"instantcheck/internal/fleet"
 	"instantcheck/internal/obs"
 )
 
 // newHTTPServer assembles checkd's HTTP server: the farm API (with metrics
-// and health), optionally the pprof handlers, and the connection timeouts
+// and health), optionally the fleet coordinator endpoints and a merged
+// /metrics, optionally the pprof handlers, and the connection timeouts
 // that keep one slow or stuck client from pinning daemon connections.
 // WriteTimeout is left generous on purpose: CPU profiles stream for their
 // requested duration (default 30s) and must fit inside it.
-func newHTTPServer(addr string, api http.Handler, read, write, idle time.Duration, withPprof bool) *http.Server {
+func newHTTPServer(addr string, api http.Handler, coord *fleet.Coordinator, metrics http.Handler,
+	read, write, idle time.Duration, withPprof bool) *http.Server {
 	mux := http.NewServeMux()
 	mux.Handle("/", api)
+	if coord != nil {
+		// More specific patterns win, so these shadow the farm's subtree:
+		// the fleet API, and the merged farm+fleet exposition.
+		mux.Handle("POST /api/v1/fleet/", coord.Handler())
+		mux.Handle("GET /api/v1/fleet/", coord.Handler())
+		mux.Handle("GET /metrics", metrics)
+	}
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -96,6 +119,9 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 120*time.Second, "max duration for writing one response (covers pprof profiles)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	fleetOn := flag.Bool("fleet", false, "coordinate a checkworker fleet instead of replaying locally")
+	shardSize := flag.Int("shard-size", 8, "runs per fleet lease (with -fleet)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "fleet lease lifetime without a heartbeat (with -fleet)")
 	flag.Parse()
 	log.SetPrefix("checkd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -104,23 +130,44 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := farm.NewServer(store, farm.Options{
+	var coord *fleet.Coordinator
+	var metricsHandler http.Handler
+	opts := farm.Options{
 		RunWorkers: *runWorkers,
 		JobWorkers: *jobWorkers,
 		Logf:       log.Printf,
-	})
+	}
+	if *fleetOn {
+		coord = fleet.NewCoordinator(fleet.CoordinatorOptions{
+			ShardSize: *shardSize,
+			LeaseTTL:  *leaseTTL,
+			Logf:      log.Printf,
+		})
+		opts.Dispatcher = coord
+	}
+	srv := farm.NewServer(store, opts)
 	if n := srv.Resume(); n > 0 {
 		log.Printf("re-queued %d unfinished job(s) from %s", n, *storePath)
 	}
 	registerProcessMetrics(srv.Registry())
+	if coord != nil {
+		if err := obs.LintMerged(srv.Registry(), coord.Registry()); err != nil {
+			log.Fatalf("farm and fleet registries cannot merge: %v", err)
+		}
+		metricsHandler = obs.MergedHandler(srv.Registry(), coord.Registry())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv.Start(ctx)
 
-	hs := newHTTPServer(*addr, srv.Handler(), *readTimeout, *writeTimeout, *idleTimeout, *pprofOn)
+	hs := newHTTPServer(*addr, srv.Handler(), coord, metricsHandler,
+		*readTimeout, *writeTimeout, *idleTimeout, *pprofOn)
 	if *pprofOn {
 		log.Print("pprof enabled at /debug/pprof/")
+	}
+	if coord != nil {
+		log.Printf("fleet mode: shard size %d, lease TTL %s — waiting for checkworker nodes", *shardSize, *leaseTTL)
 	}
 	go func() {
 		<-ctx.Done()

@@ -17,7 +17,7 @@ func TestSlowClientTimedOut(t *testing.T) {
 	api := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok")
 	})
-	hs := newHTTPServer("", api, 150*time.Millisecond, time.Second, time.Second, false)
+	hs := newHTTPServer("", api, nil, nil, 150*time.Millisecond, time.Second, time.Second, false)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestPprofOptIn(t *testing.T) {
 		http.NotFound(w, r)
 	})
 	for _, on := range []bool{false, true} {
-		hs := newHTTPServer("", api, time.Second, time.Second, time.Second, on)
+		hs := newHTTPServer("", api, nil, nil, time.Second, time.Second, time.Second, on)
 		ts := httptest.NewServer(hs.Handler)
 		resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
 		if err != nil {

@@ -1,0 +1,302 @@
+// Command fleetsmoke is the distributed-campaign smoke gate: it boots a
+// real fleet — one checkd in -fleet mode plus four checkworker processes —
+// drives the full 17-app evaluation campaign through it, SIGKILLs one
+// worker mid-shard, and then proves the north-star property end to end:
+// every report is byte-identical to the one a plain single-node checkd
+// produces for the same spec, worker death notwithstanding. It also
+// scrapes the merged /metrics exposition from the live coordinator,
+// failing on lint errors, on missing checkfleet series, or if the kill
+// left no trace (no expired lease, no re-queued runs).
+//
+// Usage:
+//
+//	fleetsmoke [-keep]
+//
+// CI runs it as `make fleet-smoke`.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"instantcheck/internal/apps"
+	"instantcheck/internal/farm"
+	"instantcheck/internal/obs"
+)
+
+// requiredSeries are the checkfleet families a post-campaign scrape of the
+// merged exposition must carry, alongside a sentinel from the farm side
+// proving the merge really concatenates both registries.
+var requiredSeries = []string{
+	"checkfleet_workers_live",
+	"checkfleet_worker_live",
+	"checkfleet_leases_active",
+	"checkfleet_campaigns_active",
+	"checkfleet_shards_leased_total",
+	"checkfleet_shards_completed_total",
+	"checkfleet_shards_expired_total",
+	"checkfleet_runs_requeued_total",
+	"checkfleet_blob_fetch_misses_total",
+	"checkfleet_blob_serve_bytes_total",
+	"checkfleet_appendback_records_total",
+	"checkfleet_appendback_bytes_total",
+	"checkfarm_jobs_submitted_total",
+}
+
+func main() {
+	keep := flag.Bool("keep", false, "keep the temp store/binary directory for inspection")
+	flag.Parse()
+	log.SetPrefix("fleetsmoke: ")
+	log.SetFlags(0)
+	if err := run(*keep); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("PASS")
+}
+
+func run(keep bool) error {
+	dir, err := os.MkdirTemp("", "fleetsmoke")
+	if err != nil {
+		return err
+	}
+	if keep {
+		log.Printf("workdir %s", dir)
+	} else {
+		defer os.RemoveAll(dir)
+	}
+
+	checkdPath := filepath.Join(dir, "checkd")
+	workerPath := filepath.Join(dir, "checkworker")
+	for bin, pkg := range map[string]string{checkdPath: "./cmd/checkd", workerPath: "./cmd/checkworker"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("build %s: %w", pkg, err)
+		}
+	}
+
+	// The fleet daemon: coordinator mode, small shards and a short lease TTL
+	// so the injected kill re-dispatches quickly.
+	fleetC, stopFleet, err := startDaemon(checkdPath, filepath.Join(dir, "fleet.log"),
+		"-fleet", "-shard-size", "4", "-lease-ttl", "1s")
+	if err != nil {
+		return err
+	}
+	defer stopFleet()
+
+	// Four workers. The victim replays slowly (per-run latency), so it is
+	// guaranteed to be mid-shard when the SIGKILL lands.
+	var workers []*exec.Cmd
+	defer func() {
+		for _, w := range workers {
+			if w.Process != nil {
+				w.Process.Kill()
+				w.Wait()
+			}
+		}
+	}()
+	startWorker := func(name string, extra ...string) (*exec.Cmd, error) {
+		args := append([]string{
+			"-coordinator", fleetC.BaseURL,
+			"-name", name,
+			"-cache", filepath.Join(dir, "cache-"+name),
+			"-poll", "20ms",
+		}, extra...)
+		w := exec.Command(workerPath, args...)
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			return nil, fmt.Errorf("start worker %s: %w", name, err)
+		}
+		workers = append(workers, w)
+		return w, nil
+	}
+	victim, err := startWorker("victim", "-run-latency", "80ms")
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"w1", "w2", "w3"} {
+		if _, err := startWorker(name); err != nil {
+			return err
+		}
+	}
+
+	// The full 17-app evaluation campaign, fully seeded so the plain daemon
+	// below resolves byte-identical campaigns.
+	var ids []farm.JobID
+	specs := make(map[farm.JobID]farm.JobSpec)
+	for _, app := range apps.Names() {
+		spec := farm.JobSpec{App: app, Runs: 6, Threads: 4, Seed: 50, InputSeed: 7, Small: true}
+		job, err := fleetC.Submit(context.Background(), spec)
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", app, err)
+		}
+		ids = append(ids, job.ID)
+		specs[job.ID] = spec
+	}
+	log.Printf("submitted %d campaigns to the fleet daemon", len(ids))
+
+	// Kill the victim as soon as it holds a lease (SIGKILL: no farewell, no
+	// flush — the lease must expire on its own).
+	if err := awaitSample(fleetC, 30*time.Second, func(s obs.Sample) bool {
+		return s.Name == "checkfleet_shards_leased_total" && s.Label("worker") == "victim" && s.Value >= 1
+	}); err != nil {
+		return fmt.Errorf("victim never leased a shard: %w", err)
+	}
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		return fmt.Errorf("kill victim: %w", err)
+	}
+	victim.Wait()
+	log.Print("SIGKILLed worker \"victim\" mid-shard")
+
+	// Every campaign must still converge.
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		job, err := fleetC.Wait(ctx, id, 50*time.Millisecond)
+		if err != nil {
+			return fmt.Errorf("wait %s: %w", id, err)
+		}
+		if job.State != farm.JobDone {
+			return fmt.Errorf("fleet job %s (%s) finished as %s: %s", id, job.Spec.App, job.State, job.Error)
+		}
+	}
+
+	// The reference: a plain single-node checkd over the same specs.
+	plainC, stopPlain, err := startDaemon(checkdPath, filepath.Join(dir, "plain.log"))
+	if err != nil {
+		return err
+	}
+	defer stopPlain()
+	for _, id := range ids {
+		spec := specs[id]
+		ref, err := plainC.Submit(context.Background(), spec)
+		if err != nil {
+			return fmt.Errorf("submit reference %s: %w", spec.App, err)
+		}
+		job, err := plainC.Wait(ctx, ref.ID, 50*time.Millisecond)
+		if err != nil {
+			return fmt.Errorf("wait reference %s: %w", spec.App, err)
+		}
+		if job.State != farm.JobDone {
+			return fmt.Errorf("reference job %s finished as %s: %s", spec.App, job.State, job.Error)
+		}
+		fleetRep, err := fleetC.Report(context.Background(), id)
+		if err != nil {
+			return err
+		}
+		plainRep, err := plainC.Report(context.Background(), ref.ID)
+		if err != nil {
+			return err
+		}
+		a, _ := json.Marshal(fleetRep)
+		b, _ := json.Marshal(plainRep)
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("%s: fleet report differs from single-node:\nfleet  %s\nsingle %s", spec.App, a, b)
+		}
+	}
+	log.Printf("all %d fleet reports byte-identical to single-node", len(ids))
+
+	// The merged exposition lints, carries every fleet series, and shows the
+	// kill: at least one expired lease and one re-queued run.
+	samples, err := scrapeAndLint(fleetC)
+	if err != nil {
+		return fmt.Errorf("post-campaign scrape: %w", err)
+	}
+	have := map[string]float64{}
+	for _, s := range samples {
+		have[s.Name] += s.Value
+	}
+	var missing []string
+	for _, name := range requiredSeries {
+		if _, ok := have[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("scrape is missing required series: %s", strings.Join(missing, ", "))
+	}
+	if have["checkfleet_shards_expired_total"] < 1 {
+		return fmt.Errorf("no lease expired despite the SIGKILL")
+	}
+	if have["checkfleet_runs_requeued_total"] < 1 {
+		return fmt.Errorf("no runs re-queued despite the SIGKILL")
+	}
+	log.Printf("scraped %d samples: %v shard(s) expired, %v run(s) re-queued, all %d required series present",
+		len(samples), have["checkfleet_shards_expired_total"], have["checkfleet_runs_requeued_total"], len(requiredSeries))
+	return nil
+}
+
+// startDaemon launches one checkd on a free port and waits for /healthz.
+func startDaemon(bin, store string, extra ...string) (*farm.Client, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	args := append([]string{"-addr", addr, "-store", store}, extra...)
+	daemon := exec.Command(bin, args...)
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return nil, nil, fmt.Errorf("start checkd: %w", err)
+	}
+	stop := func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		daemon.Wait()
+	}
+	c := farm.NewClient("http://" + addr)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		h, err := c.Health(context.Background())
+		if err == nil && h.Status == "ok" {
+			return c, stop, nil
+		}
+		if time.Now().After(deadline) {
+			stop()
+			return nil, nil, fmt.Errorf("daemon not healthy after 15s: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// awaitSample polls /metrics until some sample satisfies ok.
+func awaitSample(c *farm.Client, timeout time.Duration, ok func(obs.Sample) bool) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		samples, err := scrapeAndLint(c)
+		if err == nil {
+			for _, s := range samples {
+				if ok(s) {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("condition not reached after %v", timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// scrapeAndLint fetches /metrics and validates the exposition format.
+func scrapeAndLint(c *farm.Client) ([]obs.Sample, error) {
+	text, err := c.MetricsText(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if err := obs.Lint(strings.NewReader(text)); err != nil {
+		return nil, fmt.Errorf("malformed exposition: %w", err)
+	}
+	return obs.ParseExposition(strings.NewReader(text))
+}

@@ -5,7 +5,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"instantcheck/internal/farm"
@@ -54,6 +56,12 @@ verbs:
 	c := farm.NewClient(*server)
 	verb, rest := rest[0], rest[1:]
 
+	// Every daemon call runs under a signal-aware context: ^C aborts the
+	// in-flight HTTP request (and Wait's poll loop) immediately instead of
+	// waiting out the client's retry/backoff budget.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	one := func() (farm.JobID, error) {
 		if len(rest) != 1 {
 			return "", fmt.Errorf("remote %s: want exactly one job id", verb)
@@ -62,20 +70,20 @@ verbs:
 	}
 	switch verb {
 	case "submit":
-		return remoteSubmit(c, rest)
+		return remoteSubmit(ctx, c, rest)
 	case "status":
 		id, err := one()
 		if err != nil {
 			return err
 		}
-		job, err := c.Job(id)
+		job, err := c.Job(ctx, id)
 		if err != nil {
 			return err
 		}
 		printJob(job)
 		return nil
 	case "jobs":
-		jobs, err := c.Jobs()
+		jobs, err := c.Jobs(ctx)
 		if err != nil {
 			return err
 		}
@@ -88,7 +96,7 @@ verbs:
 		if err != nil {
 			return err
 		}
-		rep, err := c.Report(id)
+		rep, err := c.Report(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -99,7 +107,7 @@ verbs:
 		if err != nil {
 			return err
 		}
-		text, err := c.HashLog(id)
+		text, err := c.HashLog(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -117,7 +125,7 @@ verbs:
 		if req.JobB, req.LogB, err = compareSideArg(rest[1]); err != nil {
 			return err
 		}
-		res, err := c.Compare(req)
+		res, err := c.Compare(ctx, req)
 		if err != nil {
 			return err
 		}
@@ -133,13 +141,13 @@ verbs:
 		}
 		return nil
 	case "stats":
-		return remoteStats(c, rest, os.Stdout)
+		return remoteStats(ctx, c, rest, os.Stdout)
 	case "cancel":
 		id, err := one()
 		if err != nil {
 			return err
 		}
-		ok, err := c.Cancel(id)
+		ok, err := c.Cancel(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -167,7 +175,7 @@ func compareSideArg(arg string) (farm.JobID, string, error) {
 	return farm.JobID(arg), "", nil
 }
 
-func remoteSubmit(c *farm.Client, args []string) error {
+func remoteSubmit(ctx context.Context, c *farm.Client, args []string) error {
 	fs := flag.NewFlagSet("remote submit", flag.ExitOnError)
 	runs := fs.Int("runs", 0, "test runs per campaign (daemon default 30)")
 	threads := fs.Int("threads", 0, "worker threads per run (daemon default 8)")
@@ -187,7 +195,7 @@ func remoteSubmit(c *farm.Client, args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	job, err := c.Submit(farm.JobSpec{
+	job, err := c.Submit(ctx, farm.JobSpec{
 		App:         app,
 		Runs:        *runs,
 		Threads:     *threads,
@@ -207,7 +215,7 @@ func remoteSubmit(c *farm.Client, args []string) error {
 	if !*wait {
 		return nil
 	}
-	job, err = c.Wait(context.Background(), job.ID, 500*time.Millisecond)
+	job, err = c.Wait(ctx, job.ID, 500*time.Millisecond)
 	if err != nil {
 		return err
 	}
@@ -215,7 +223,7 @@ func remoteSubmit(c *farm.Client, args []string) error {
 	if job.State != farm.JobDone {
 		return fmt.Errorf("job %s finished as %s: %s", job.ID, job.State, job.Error)
 	}
-	rep, err := c.Report(job.ID)
+	rep, err := c.Report(ctx, job.ID)
 	if err != nil {
 		return err
 	}

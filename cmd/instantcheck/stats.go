@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -15,17 +16,17 @@ import (
 // snapshot: the health summary first, then every counter and gauge, with
 // histogram families folded to count/mean. -raw skips the rendering and
 // dumps the Prometheus exposition verbatim (for piping into other tools).
-func remoteStats(c *farm.Client, args []string, w io.Writer) error {
+func remoteStats(ctx context.Context, c *farm.Client, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("remote stats", flag.ExitOnError)
 	raw := fs.Bool("raw", false, "dump the raw Prometheus text exposition")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	h, err := c.Health()
+	h, err := c.Health(ctx)
 	if err != nil {
 		return fmt.Errorf("remote stats: %w", err)
 	}
-	text, err := c.MetricsText()
+	text, err := c.MetricsText(ctx)
 	if err != nil {
 		return fmt.Errorf("remote stats: %w", err)
 	}
@@ -41,6 +42,9 @@ func remoteStats(c *farm.Client, args []string, w io.Writer) error {
 	fmt.Fprintf(w, "%s: %s  up %s  %d job(s), %d running, %d queued\nstore %s\n",
 		c.BaseURL, h.Status, formatSeconds(h.UptimeSeconds), h.Jobs, h.Running, h.QueueDepth, h.StorePath)
 	if line := deltaRatioLine(samples); line != "" {
+		fmt.Fprintln(w, line)
+	}
+	if line := fleetLine(samples); line != "" {
 		fmt.Fprintln(w, line)
 	}
 	fmt.Fprintln(w)
@@ -67,6 +71,34 @@ func deltaRatioLine(samples []obs.Sample) string {
 	}
 	return fmt.Sprintf("traverse delta: %s of %s live pages rehashed (%.1f%% dirty)",
 		formatMetric(dirty), formatMetric(live), 100*dirty/live)
+}
+
+// fleetLine summarizes a fleet-mode daemon: live workers, shard traffic and
+// how much re-dispatch the campaign needed. Empty on a non-fleet daemon
+// (the checkfleet families are absent) or before any worker has leased.
+func fleetLine(samples []obs.Sample) string {
+	var workers, leased, completed, expired, requeued float64
+	seen := false
+	for _, s := range samples {
+		switch s.Name {
+		case "checkfleet_workers_live":
+			workers, seen = s.Value, true
+		case "checkfleet_shards_leased_total":
+			leased += s.Value // per-worker series; fold to a fleet total
+		case "checkfleet_shards_completed_total":
+			completed = s.Value
+		case "checkfleet_shards_expired_total":
+			expired = s.Value
+		case "checkfleet_runs_requeued_total":
+			requeued = s.Value
+		}
+	}
+	if !seen || leased == 0 {
+		return ""
+	}
+	return fmt.Sprintf("fleet: %s worker(s) live, shards %s leased / %s completed / %s expired, %s run(s) re-queued",
+		formatMetric(workers), formatMetric(leased), formatMetric(completed),
+		formatMetric(expired), formatMetric(requeued))
 }
 
 // formatSeconds renders an uptime without sub-second noise.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -49,7 +50,7 @@ checkfarm_run_duration_seconds_count 4
 func TestRemoteStatsRendering(t *testing.T) {
 	c := statsDaemon(t, statsExposition)
 	var out bytes.Buffer
-	if err := remoteStats(c, nil, &out); err != nil {
+	if err := remoteStats(context.Background(), c, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -72,7 +73,7 @@ func TestRemoteStatsRendering(t *testing.T) {
 
 	// -raw dumps the exposition untouched.
 	out.Reset()
-	if err := remoteStats(c, []string{"-raw"}, &out); err != nil {
+	if err := remoteStats(context.Background(), c, []string{"-raw"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.String() != statsExposition {
@@ -80,11 +81,47 @@ func TestRemoteStatsRendering(t *testing.T) {
 	}
 }
 
+// TestRemoteStatsFleetLine: a fleet-mode daemon's exposition adds the fleet
+// summary line (per-worker lease counters folded to a total); a non-fleet
+// daemon's never shows it.
+func TestRemoteStatsFleetLine(t *testing.T) {
+	fleetExposition := statsExposition + `# TYPE checkfleet_workers_live gauge
+checkfleet_workers_live 3
+# TYPE checkfleet_shards_leased_total counter
+checkfleet_shards_leased_total{worker="w0"} 4
+checkfleet_shards_leased_total{worker="w1"} 3
+# TYPE checkfleet_shards_completed_total counter
+checkfleet_shards_completed_total 6
+# TYPE checkfleet_shards_expired_total counter
+checkfleet_shards_expired_total 1
+# TYPE checkfleet_runs_requeued_total counter
+checkfleet_runs_requeued_total 5
+`
+	c := statsDaemon(t, fleetExposition)
+	var out bytes.Buffer
+	if err := remoteStats(context.Background(), c, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "fleet: 3 worker(s) live, shards 7 leased / 6 completed / 1 expired, 5 run(s) re-queued"
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("stats output missing %q:\n%s", want, out.String())
+	}
+
+	out.Reset()
+	c = statsDaemon(t, statsExposition)
+	if err := remoteStats(context.Background(), c, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "fleet:") {
+		t.Errorf("non-fleet daemon rendered a fleet line:\n%s", out.String())
+	}
+}
+
 // TestRemoteStatsRejectsMalformed: a daemon serving a broken exposition is
 // reported as such instead of rendered half-parsed.
 func TestRemoteStatsRejectsMalformed(t *testing.T) {
 	c := statsDaemon(t, "what even is this{")
-	if err := remoteStats(c, nil, io.Discard); err == nil || !strings.Contains(err.Error(), "malformed") {
+	if err := remoteStats(context.Background(), c, nil, io.Discard); err == nil || !strings.Contains(err.Error(), "malformed") {
 		t.Errorf("malformed exposition accepted: %v", err)
 	}
 }

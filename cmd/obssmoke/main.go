@@ -112,7 +112,7 @@ func run(checkdPath string, keep bool) error {
 	}
 
 	// Drive one small campaign end to end.
-	job, err := c.Submit(farm.JobSpec{App: "fft", Runs: 4, Threads: 4, Small: true})
+	job, err := c.Submit(context.Background(), farm.JobSpec{App: "fft", Runs: 4, Threads: 4, Small: true})
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
 	}
@@ -153,7 +153,7 @@ func run(checkdPath string, keep bool) error {
 func waitHealthy(c *farm.Client, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		h, err := c.Health()
+		h, err := c.Health(context.Background())
 		if err == nil && h.Status == "ok" {
 			return nil
 		}
@@ -166,7 +166,7 @@ func waitHealthy(c *farm.Client, timeout time.Duration) error {
 
 // scrapeAndLint fetches /metrics and validates the exposition format.
 func scrapeAndLint(c *farm.Client) ([]obs.Sample, error) {
-	text, err := c.MetricsText()
+	text, err := c.MetricsText(context.Background())
 	if err != nil {
 		return nil, err
 	}

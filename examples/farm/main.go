@@ -45,7 +45,7 @@ func main() {
 	for _, id := range []farm.JobID{radix, barnes} {
 		job, err := c.Wait(context.Background(), id, 50*time.Millisecond)
 		check(err)
-		rep, err := c.Report(id)
+		rep, err := c.Report(context.Background(), id)
 		check(err)
 		verdict := "NONDETERMINISTIC"
 		if rep.Deterministic {
@@ -58,14 +58,14 @@ func main() {
 	// The per-checkpoint hash stream is the unit of cross-host comparison:
 	// fetch it as text (as another host would) and diff it against the job
 	// it came from, then against the other workload.
-	logText, err := c.HashLog(radix)
+	logText, err := c.HashLog(context.Background(), radix)
 	check(err)
 	fmt.Printf("\nhash log of %s: %d lines, first: %s\n",
 		radix, strings.Count(logText, "\n"), strings.SplitN(logText, "\n", 2)[0])
-	same, err := c.Compare(farm.CompareRequest{LogA: logText, JobB: radix})
+	same, err := c.Compare(context.Background(), farm.CompareRequest{LogA: logText, JobB: radix})
 	check(err)
 	fmt.Printf("compare fetched-log vs %s: equal=%v over %d runs\n", radix, same.Equal, same.RunsCompared)
-	diff, err := c.Compare(farm.CompareRequest{JobA: radix, JobB: barnes})
+	diff, err := c.Compare(context.Background(), farm.CompareRequest{JobA: radix, JobB: barnes})
 	check(err)
 	fmt.Printf("compare %s vs %s: equal=%v, first divergence at run %d checkpoint %d\n",
 		radix, barnes, diff.Equal, diff.First.Run+1, diff.First.Ordinal)
@@ -88,7 +88,7 @@ func main() {
 }
 
 func submit(c *farm.Client, spec farm.JobSpec) farm.JobID {
-	job, err := c.Submit(spec)
+	job, err := c.Submit(context.Background(), spec)
 	check(err)
 	return job.ID
 }

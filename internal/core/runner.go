@@ -90,6 +90,59 @@ func (r *Runner) Replay(run int) (*sim.Result, error) {
 	return res, nil
 }
 
+// ReplayState is the recorded substrate every replay run of a campaign
+// depends on: the program name plus the allocation-address log and env-call
+// streams run 1 produced (§5). It is what a distributed campaign ships to
+// worker nodes — a worker holding the state replays any run of the campaign
+// without executing the recording run itself.
+type ReplayState struct {
+	// Program is the checked program's name (known after recording).
+	Program string
+	// Addr is the recorded allocation-address log.
+	Addr *replay.AddrLog
+	// Env holds the recorded env-call streams.
+	Env *replay.Env
+}
+
+// ReplayState exposes the recorded logs after Record has run. The returned
+// state shares the runner's live structures; callers that ship it across a
+// process boundary serialize it (see replay.AddrLog.MarshalBinary), which
+// makes the sharing moot, and in-process callers must treat it as
+// read-only — exactly the discipline Replay itself follows (clone-on-run).
+func (r *Runner) ReplayState() (ReplayState, error) {
+	if !r.recorded {
+		return ReplayState{}, fmt.Errorf("core: ReplayState before Record")
+	}
+	return ReplayState{Program: r.name, Addr: r.addrLog, Env: r.env}, nil
+}
+
+// NewReplayRunner builds a runner around an already-recorded replay state:
+// the worker-node constructor. The returned runner accepts Replay calls
+// immediately (Record is both unnecessary and forbidden — the state already
+// embodies run 1), and because every replay run derives only from the state
+// and the campaign seeds, a run replayed here is bit-identical to the same
+// run replayed wherever the recording happened.
+func (c Campaign) NewReplayRunner(build Builder, st ReplayState) (*Runner, error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if !c.Scheme.Hashing() {
+		return nil, fmt.Errorf("core: campaign scheme %v computes no hashes", c.Scheme)
+	}
+	if st.Addr == nil || st.Env == nil {
+		return nil, fmt.Errorf("core: replay state missing recorded logs")
+	}
+	return &Runner{
+		c:        c,
+		build:    build,
+		addrLog:  st.Addr,
+		env:      st.Env,
+		name:     st.Program,
+		recorded: true,
+	}, nil
+}
+
 // forkSeed derives the seed for a replay run's private env fork. The fork
 // only draws from this seed if the run grows the recorded streams, and the
 // derivation depends on nothing but the campaign input and the run index,

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"instantcheck/internal/replay"
 	"instantcheck/internal/sim"
 )
 
@@ -91,6 +92,93 @@ func TestRunnerProtocol(t *testing.T) {
 		if _, err := r.Replay(run); err == nil {
 			t.Errorf("out-of-range replay index %d accepted", run)
 		}
+	}
+}
+
+// TestReplayRunnerFromShippedState is the worker-node invariant: a runner
+// reconstructed from the recording run's serialized replay state — the
+// bytes a fleet coordinator ships — replays every run bit-identically to
+// the runner that recorded, for both a deterministic and a racy program.
+func TestReplayRunnerFromShippedState(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() Builder
+	}{{"det", detBuilder}, {"racy", racyBuilder}} {
+		t.Run(tc.name, func(t *testing.T) {
+			camp := testCampaign()
+			rec, err := camp.NewRunner(tc.build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rec.ReplayState(); err == nil {
+				t.Error("ReplayState before Record accepted")
+			}
+			if _, err := rec.Record(); err != nil {
+				t.Fatal(err)
+			}
+			st, err := rec.ReplayState()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Serialize and reconstruct, as a worker on another host would.
+			ab, err := st.Addr.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			eb, err := st.Env.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr, err := replay.UnmarshalAddrLog(ab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := replay.UnmarshalEnv(eb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			worker, err := camp.NewReplayRunner(tc.build(), ReplayState{Program: st.Program, Addr: addr, Env: env})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if worker.Name() != rec.Name() {
+				t.Errorf("worker program %q, recorder %q", worker.Name(), rec.Name())
+			}
+			if _, err := worker.Record(); err == nil {
+				t.Error("Record on a replay runner accepted")
+			}
+			for run := 1; run < camp.Runs; run++ {
+				want, err := rec.Replay(run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := worker.Replay(run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want.SHVector(), got.SHVector()) {
+					t.Fatalf("run %d: shipped-state replay diverged:\nrecorder %v\nworker   %v",
+						run+1, want.SHVector(), got.SHVector())
+				}
+				if want.OutputHash != got.OutputHash {
+					t.Fatalf("run %d: output hash diverged", run+1)
+				}
+			}
+		})
+	}
+}
+
+// TestNewReplayRunnerValidation rejects states that cannot replay.
+func TestNewReplayRunnerValidation(t *testing.T) {
+	camp := testCampaign()
+	if _, err := camp.NewReplayRunner(detBuilder(), ReplayState{}); err == nil {
+		t.Error("empty replay state accepted")
+	}
+	if _, err := (Campaign{Runs: -1}).NewReplayRunner(detBuilder(), ReplayState{
+		Addr: replay.NewAddrLog(), Env: replay.NewEnv(0),
+	}); err == nil {
+		t.Error("invalid campaign accepted")
 	}
 }
 

@@ -13,6 +13,10 @@ import (
 
 // Client talks to a checkd daemon's HTTP API. The zero HTTPClient uses
 // http.DefaultClient; BaseURL is like "http://localhost:8347".
+//
+// Every method takes a context and aborts the in-flight HTTP request when
+// it is canceled — `instantcheck remote` wires SIGINT into this, so a ^C
+// cuts a hung poll instead of waiting out the backoff budget.
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
@@ -40,7 +44,7 @@ func (c *Client) http() *http.Client {
 
 // do performs one API call, decoding a JSON response into out (unless out
 // is nil) and mapping error payloads to Go errors.
-func (c *Client) do(method, path string, in, out any) error {
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -49,7 +53,7 @@ func (c *Client) do(method, path string, in, out any) error {
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
@@ -76,39 +80,60 @@ func (c *Client) do(method, path string, in, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// text performs one GET returning the raw response body.
+func (c *Client) text(ctx context.Context, path string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 300 {
+		return "", fmt.Errorf("farm: GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return string(b), nil
+}
+
 // Submit enqueues a campaign and returns the accepted job.
-func (c *Client) Submit(spec JobSpec) (*Job, error) {
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	var job Job
-	if err := c.do(http.MethodPost, "/api/v1/jobs", spec, &job); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/api/v1/jobs", spec, &job); err != nil {
 		return nil, err
 	}
 	return &job, nil
 }
 
 // Job fetches one job's status.
-func (c *Client) Job(id JobID) (*Job, error) {
+func (c *Client) Job(ctx context.Context, id JobID) (*Job, error) {
 	var job Job
-	if err := c.do(http.MethodGet, "/api/v1/jobs/"+string(id), nil, &job); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+string(id), nil, &job); err != nil {
 		return nil, err
 	}
 	return &job, nil
 }
 
 // Jobs lists all jobs on the daemon.
-func (c *Client) Jobs() ([]*Job, error) {
+func (c *Client) Jobs(ctx context.Context) ([]*Job, error) {
 	var out struct {
 		Jobs []*Job `json:"jobs"`
 	}
-	if err := c.do(http.MethodGet, "/api/v1/jobs", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &out); err != nil {
 		return nil, err
 	}
 	return out.Jobs, nil
 }
 
 // Report fetches a finished job's report.
-func (c *Client) Report(id JobID) (*Report, error) {
+func (c *Client) Report(ctx context.Context, id JobID) (*Report, error) {
 	var rep Report
-	if err := c.do(http.MethodGet, "/api/v1/jobs/"+string(id)+"/report", nil, &rep); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+string(id)+"/report", nil, &rep); err != nil {
 		return nil, err
 	}
 	return &rep, nil
@@ -116,36 +141,24 @@ func (c *Client) Report(id JobID) (*Report, error) {
 
 // HashLog fetches a job's per-checkpoint hash stream in the canonical
 // text form — the unit of cross-host comparison.
-func (c *Client) HashLog(id JobID) (string, error) {
-	resp, err := c.http().Get(c.BaseURL + "/api/v1/jobs/" + string(id) + "/hashlog")
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode >= 300 {
-		return "", fmt.Errorf("farm: hashlog %s: HTTP %d", id, resp.StatusCode)
-	}
-	return string(b), nil
+func (c *Client) HashLog(ctx context.Context, id JobID) (string, error) {
+	return c.text(ctx, "/api/v1/jobs/"+string(id)+"/hashlog")
 }
 
 // Compare diffs two hash logs (jobs on the daemon, or inline logs fetched
 // from elsewhere).
-func (c *Client) Compare(req CompareRequest) (*CompareResult, error) {
+func (c *Client) Compare(ctx context.Context, req CompareRequest) (*CompareResult, error) {
 	var res CompareResult
-	if err := c.do(http.MethodPost, "/api/v1/compare", req, &res); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/api/v1/compare", req, &res); err != nil {
 		return nil, err
 	}
 	return &res, nil
 }
 
 // Health fetches the daemon's /healthz liveness summary.
-func (c *Client) Health() (*Health, error) {
+func (c *Client) Health(ctx context.Context) (*Health, error) {
 	var h Health
-	if err := c.do(http.MethodGet, "/healthz", nil, &h); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
 		return nil, err
 	}
 	return &h, nil
@@ -153,29 +166,17 @@ func (c *Client) Health() (*Health, error) {
 
 // MetricsText fetches the daemon's /metrics endpoint: the raw Prometheus
 // text exposition (parse with obs.ParseExposition if needed).
-func (c *Client) MetricsText() (string, error) {
-	resp, err := c.http().Get(c.BaseURL + "/metrics")
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode >= 300 {
-		return "", fmt.Errorf("farm: metrics: HTTP %d", resp.StatusCode)
-	}
-	return string(b), nil
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	return c.text(ctx, "/metrics")
 }
 
 // Cancel cancels a queued or running job; it reports whether the daemon
 // actually canceled it.
-func (c *Client) Cancel(id JobID) (bool, error) {
+func (c *Client) Cancel(ctx context.Context, id JobID) (bool, error) {
 	var out struct {
 		Canceled bool `json:"canceled"`
 	}
-	if err := c.do(http.MethodDelete, "/api/v1/jobs/"+string(id), nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+string(id), nil, &out); err != nil {
 		return false, err
 	}
 	return out.Canceled, nil
@@ -189,6 +190,10 @@ func (c *Client) Cancel(id JobID) (bool, error) {
 // whichever is larger) and fails only after WaitErrorLimit consecutive
 // errors. A successful poll resets both the error budget and the backoff,
 // so a waiter that rode out a daemon restart resumes tight polling.
+//
+// Cancellation is prompt: ctx aborts the in-flight poll request itself,
+// not just the sleep between polls, and a poll failure caused by the
+// context never counts against the error budget.
 func (c *Client) Wait(ctx context.Context, id JobID, poll time.Duration) (*Job, error) {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
@@ -204,8 +209,10 @@ func (c *Client) Wait(ctx context.Context, id JobID, poll time.Duration) (*Job, 
 	delay := poll
 	errors := 0
 	for {
-		job, err := c.Job(id)
+		job, err := c.Job(ctx, id)
 		switch {
+		case ctx.Err() != nil:
+			return job, ctx.Err()
 		case err != nil:
 			errors++
 			if errors >= limit {

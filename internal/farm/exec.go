@@ -10,13 +10,112 @@ import (
 	"instantcheck/internal/sim"
 )
 
-// runJob executes one campaign with run-level parallelism, the heart of
-// the worker pool:
+// Dispatcher executes the outstanding replay runs of one campaign. It is
+// the seam between the farm's job lifecycle (record, resume, merge — all
+// handled by runJob) and wherever the replay runs actually execute:
+//
+//   - the default localDispatcher fans the runs out across an in-process
+//     worker pool, exactly the pre-fleet behavior;
+//   - the fleet coordinator (internal/fleet) implements Dispatcher by
+//     leasing run-shards to remote worker processes and feeding their
+//     streamed results back through deliver.
+//
+// The contract: Dispatch returns only after every run in need has been
+// passed to deliver exactly once, or with the first error. deliver may be
+// called concurrently for distinct runs but never twice for the same run;
+// runJob additionally dedups by run index, so a dispatcher that re-issues
+// work (straggler re-dispatch racing its zombie) is still safe. Dispatch
+// must respect ctx cancellation.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, id JobID, spec JobSpec, runner *core.Runner, need []int,
+		deliver func(run int, res *sim.Result) error) error
+}
+
+// localDispatcher is the in-process dispatcher: a pool of Parallelism
+// goroutines draining the run list, each run on a private clone of the
+// recorded logs.
+type localDispatcher struct {
+	m *Metrics
+}
+
+func (d localDispatcher) Dispatch(ctx context.Context, id JobID, spec JobSpec, runner *core.Runner, need []int,
+	deliver func(run int, res *sim.Result) error) error {
+
+	camp := runner.Campaign()
+	workers := camp.Parallelism
+	if workers > len(need) {
+		workers = len(need)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	runs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range runs {
+				if ctx.Err() != nil {
+					continue
+				}
+				replayStart := time.Now()
+				res, err := runner.Replay(run)
+				if err == nil {
+					d.m.observeRun(camp.Scheme, run, res, time.Since(replayStart))
+					err = deliver(run, res)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, run := range need {
+		runs <- run
+	}
+	close(runs)
+	wg.Wait()
+	return firstErr
+}
+
+// PlanShards splits outstanding run indices into shards of at most size
+// runs — the lease unit of a distributed campaign. size <= 0 yields one
+// shard with everything. The shards partition need in order; a coordinator
+// re-planning after lease expiry passes only the still-missing runs.
+func PlanShards(need []int, size int) [][]int {
+	if len(need) == 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = len(need)
+	}
+	out := make([][]int, 0, (len(need)+size-1)/size)
+	for len(need) > 0 {
+		n := size
+		if n > len(need) {
+			n = len(need)
+		}
+		out = append(out, append([]int(nil), need[:n]...))
+		need = need[n:]
+	}
+	return out
+}
+
+// runJob executes one campaign, the heart of the farm:
 //
 //   - the recording run executes first and alone (it records the replay
 //     logs every other run depends on, §5);
-//   - the remaining runs fan out across Parallelism workers, each run on a
-//     private clone of the logs;
+//   - the remaining runs go to the dispatcher — the in-process pool by
+//     default, a fleet coordinator when one is configured;
 //   - runs already committed in prior (a resumed campaign) are not
 //     re-executed — their hash vectors come straight from the store;
 //   - the merge stage folds all vectors into a report. The hash combine
@@ -27,8 +126,8 @@ import (
 // at a time per run but concurrently across runs; the store's AppendRun is
 // the intended sink. progress is called after every finished run. m (nil
 // allowed) receives per-run hash-path metrics, sharded by run index so the
-// concurrent workers never contend.
-func runJob(ctx context.Context, spec JobSpec, prior *JobLog, m *Metrics,
+// concurrent workers never contend. disp nil selects the local pool.
+func runJob(ctx context.Context, id JobID, spec JobSpec, prior *JobLog, m *Metrics, disp Dispatcher,
 	onRun func(run int, res *sim.Result) error,
 	progress func(done, total int)) (*Report, *core.Report, error) {
 
@@ -88,6 +187,7 @@ func runJob(ctx context.Context, spec JobSpec, prior *JobLog, m *Metrics,
 		done++
 	}
 	results[0] = first
+	var mu sync.Mutex
 	if progress != nil {
 		progress(done, total)
 	}
@@ -101,56 +201,38 @@ func runJob(ctx context.Context, spec JobSpec, prior *JobLog, m *Metrics,
 			need = append(need, run)
 		}
 	}
-	workers := camp.Parallelism
-	if workers > len(need) {
-		workers = len(need)
+	// deliver persists and folds one dispatched run. Duplicate deliveries
+	// of a run (a re-dispatched shard racing its zombie lease) are dropped
+	// after the store's own idempotence check accepted them.
+	deliver := func(run int, res *sim.Result) error {
+		mu.Lock()
+		dup := results[run] != nil
+		mu.Unlock()
+		if dup {
+			return nil
+		}
+		if err := report(run, res); err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if results[run] != nil {
+			return nil
+		}
+		results[run] = res
+		done++
+		if progress != nil {
+			progress(done, total)
+		}
+		return nil
 	}
-	if workers < 1 {
-		workers = 1
+	if disp == nil {
+		disp = localDispatcher{m: m}
 	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	runs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for run := range runs {
-				if ctx.Err() != nil {
-					continue
-				}
-				replayStart := time.Now()
-				res, err := runner.Replay(run)
-				if err == nil {
-					m.observeRun(camp.Scheme, run, res, time.Since(replayStart))
-					err = report(run, res)
-				}
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-				} else {
-					results[run] = res
-					done++
-					if progress != nil {
-						progress(done, total)
-					}
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, run := range need {
-		runs <- run
-	}
-	close(runs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
+	if len(need) > 0 {
+		if err := disp.Dispatch(ctx, id, spec, runner, need, deliver); err != nil {
+			return nil, nil, err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err

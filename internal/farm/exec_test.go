@@ -58,7 +58,7 @@ func TestParallelEqualsSequentialFarm(t *testing.T) {
 					t.Fatal(err)
 				}
 
-				_, got, err := runJob(context.Background(), spec, nil, nil, nil, nil)
+				_, got, err := runJob(context.Background(), "j000000", spec, nil, nil, nil, nil, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -93,7 +93,7 @@ func TestRunJobResume(t *testing.T) {
 	sink := func(st *Store) func(int, *sim.Result) error {
 		return func(run int, res *sim.Result) error { return st.AppendRun(id, run, res) }
 	}
-	want, _, err := runJob(context.Background(), spec, nil, nil, sink(s1), nil)
+	want, _, err := runJob(context.Background(), id, spec, nil, nil, nil, sink(s1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestRunJobResume(t *testing.T) {
 		mu.Unlock()
 		return s2.AppendRun(id, run, res)
 	}
-	got, _, err := runJob(context.Background(), spec, jl, nil, onRun, nil)
+	got, _, err := runJob(context.Background(), id, spec, jl, nil, nil, onRun, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestRunJobRejectsForeignLog(t *testing.T) {
 	if err := s.AppendRun(id, 0, testResult(0x1234, 3)); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = runJob(context.Background(), spec, s.Job(id), nil, nil, nil)
+	_, _, err = runJob(context.Background(), id, spec, s.Job(id), nil, nil, nil, nil)
 	if err == nil || !strings.Contains(err.Error(), "disagrees") {
 		t.Errorf("foreign log accepted: err = %v", err)
 	}

@@ -251,6 +251,11 @@ type Divergence struct {
 	B       string `json:"b"`
 }
 
+// missingSide marks the absent side of a divergence caused by truncation:
+// one log has a checkpoint (or a whole run) the other simply lacks —
+// the signature of a worker that died mid-run.
+const missingSide = "(missing)"
+
 // CompareResult is the outcome of diffing two hash logs.
 type CompareResult struct {
 	// Equal is true when every run present in both logs has an identical
@@ -261,16 +266,29 @@ type CompareResult struct {
 	RunsB int `json:"runs_b"`
 	// RunsCompared counts runs present in both logs.
 	RunsCompared int `json:"runs_compared"`
-	// DifferingRuns lists the run indices whose vectors disagree.
+	// DifferingRuns lists the run indices whose vectors disagree (including
+	// runs one side is missing entirely).
 	DifferingRuns []int `json:"differing_runs,omitempty"`
-	// First is the earliest divergence (by run, then ordinal), nil when
-	// the compared runs all agree.
+	// OnlyA and OnlyB list runs present in one log but not the other — a
+	// truncated campaign (worker death, partial fetch) shows up here
+	// instead of silently shrinking the comparison.
+	OnlyA []int `json:"only_a,omitempty"`
+	OnlyB []int `json:"only_b,omitempty"`
+	// First is the earliest divergence (by run, then ordinal), nil only
+	// when the logs are equal. A side reading "(missing)" means that log
+	// ends before the checkpoint — truncation, not a hash mismatch.
 	First *Divergence `json:"first,omitempty"`
 }
 
 // CompareHashLogs diffs two hash logs run by run. Two hosts checking the
 // same (app, input, seeds) must produce identical logs; the first
 // divergence pinpoints the checkpoint where their executions differ.
+//
+// Truncated inputs never pass silently: a run present in only one log, or
+// a run whose vector is a strict prefix of the other side's, makes the
+// result unequal and First names the first checkpoint the shorter side is
+// missing — so a campaign cut short by a dying worker cannot masquerade
+// as a clean (if small) match.
 func CompareHashLogs(a, b []HashLogLine) *CompareResult {
 	byRun := func(lines []HashLogLine) map[int][]HashLogLine {
 		m := make(map[int][]HashLogLine)
@@ -281,19 +299,41 @@ func CompareHashLogs(a, b []HashLogLine) *CompareResult {
 	}
 	ra, rb := byRun(a), byRun(b)
 	res := &CompareResult{Equal: true, RunsA: len(ra), RunsB: len(rb)}
-	if len(ra) != len(rb) {
-		res.Equal = false
-	}
 	maxRun := -1
 	for run := range ra {
 		if run > maxRun {
 			maxRun = run
 		}
 	}
+	for run := range rb {
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	setFirst := func(d *Divergence) {
+		if res.First == nil {
+			res.First = d
+		}
+	}
 	for run := 0; run <= maxRun; run++ {
 		va, okA := ra[run]
 		vb, okB := rb[run]
-		if !okA || !okB {
+		switch {
+		case !okA && !okB:
+			continue
+		case !okA:
+			res.Equal = false
+			res.OnlyB = append(res.OnlyB, run)
+			res.DifferingRuns = append(res.DifferingRuns, run)
+			setFirst(&Divergence{Run: run, Ordinal: vb[0].Ordinal, Label: vb[0].Label,
+				A: missingSide, B: vb[0].SH.String()})
+			continue
+		case !okB:
+			res.Equal = false
+			res.OnlyA = append(res.OnlyA, run)
+			res.DifferingRuns = append(res.DifferingRuns, run)
+			setFirst(&Divergence{Run: run, Ordinal: va[0].Ordinal, Label: va[0].Label,
+				A: va[0].SH.String(), B: missingSide})
 			continue
 		}
 		res.RunsCompared++
@@ -301,20 +341,32 @@ func CompareHashLogs(a, b []HashLogLine) *CompareResult {
 		if len(vb) < n {
 			n = len(vb)
 		}
-		runDiffers := len(va) != len(vb)
+		runDiffers := false
 		for i := 0; i < n; i++ {
 			if va[i].SH != vb[i].SH {
 				runDiffers = true
-				if res.First == nil {
-					res.First = &Divergence{
-						Run:     run,
-						Ordinal: va[i].Ordinal,
-						Label:   va[i].Label,
-						A:       va[i].SH.String(),
-						B:       vb[i].SH.String(),
-					}
-				}
+				setFirst(&Divergence{
+					Run:     run,
+					Ordinal: va[i].Ordinal,
+					Label:   va[i].Label,
+					A:       va[i].SH.String(),
+					B:       vb[i].SH.String(),
+				})
 				break
+			}
+		}
+		if !runDiffers && len(va) != len(vb) {
+			// The common prefix agrees but one side's run is truncated:
+			// point at the first checkpoint the shorter side lacks.
+			runDiffers = true
+			if len(va) > len(vb) {
+				l := va[n]
+				setFirst(&Divergence{Run: run, Ordinal: l.Ordinal, Label: l.Label,
+					A: l.SH.String(), B: missingSide})
+			} else {
+				l := vb[n]
+				setFirst(&Divergence{Run: run, Ordinal: l.Ordinal, Label: l.Label,
+					A: missingSide, B: l.SH.String()})
 			}
 		}
 		if runDiffers {

@@ -42,7 +42,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	srv, c := startTestDaemon(t, filepath.Join(dir, "farm.log"), Options{RunWorkers: 4})
 
 	spec := smokeSpec("fft", "mix64")
-	job, err := c.Submit(spec)
+	job, err := c.Submit(bg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("job state %s", st)
 	}
 
-	text, err := c.MetricsText()
+	text, err := c.MetricsText(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 
 	// Health endpoint: JSON liveness with the queue summary.
-	h, err := c.Health()
+	h, err := c.Health(bg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,135 @@
+package farm
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"instantcheck/internal/obs"
+)
+
+// scrapeQueueDepth reads checkfarm_queue_depth off a live /metrics scrape.
+func scrapeQueueDepth(t *testing.T, c *Client) float64 {
+	t.Helper()
+	text, err := c.MetricsText(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sampleValue(t, samples, "checkfarm_queue_depth", nil)
+}
+
+// TestQueueDepthGaugeAcrossRestart is the resume-accounting regression
+// test: a daemon that Resume()s an unfinished job must report it on the
+// queue-depth gauge exactly once — before the fix the gauge tracked the
+// length of the internal pending slice, which drifts from job state.
+// The test scrapes /metrics at every lifecycle step across a restart.
+func TestQueueDepthGaugeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "farm.log")
+
+	// Daemon 1 accepts a job but is never started, so the job stays queued
+	// in the store when the daemon "dies".
+	store, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, Options{})
+	hs := httptest.NewServer(srv.Handler())
+	c := NewClient(hs.URL)
+	job, err := srv.Submit(smokeSpec("radix", "mix64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := scrapeQueueDepth(t, c); d != 1 {
+		t.Errorf("queue_depth with one queued job = %v, want 1", d)
+	}
+	hs.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon 2 on the same store: the gauge must show the restored job
+	// exactly once after Resume, and return to zero once it finishes.
+	store2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(store2, Options{RunWorkers: 4})
+	hs2 := httptest.NewServer(srv2.Handler())
+	c2 := NewClient(hs2.URL)
+	if d := scrapeQueueDepth(t, c2); d != 0 {
+		t.Errorf("queue_depth before Resume = %v, want 0", d)
+	}
+	if n := srv2.Resume(); n != 1 {
+		t.Fatalf("Resume re-queued %d jobs, want 1", n)
+	}
+	if d := scrapeQueueDepth(t, c2); d != 1 {
+		t.Errorf("queue_depth after Resume = %v, want exactly 1", d)
+	}
+	if h, err := c2.Health(bg); err != nil || h.QueueDepth != 1 {
+		t.Errorf("health queue depth after Resume = %+v (err %v), want 1", h, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	srv2.Start(ctx)
+	t.Cleanup(func() {
+		hs2.Close()
+		cancel()
+		srv2.Wait()
+		store2.Close()
+	})
+	if st := waitDone(t, c2, job.ID).State; st != JobDone {
+		t.Fatalf("resumed job state %s", st)
+	}
+	if d := scrapeQueueDepth(t, c2); d != 0 {
+		t.Errorf("queue_depth after completion = %v, want 0", d)
+	}
+}
+
+// TestQueueDepthGaugeCancelWhileQueued pins the overcount half of the old
+// bug: a job canceled while queued stayed in the pending slice (workers
+// skip it lazily), so the gauge kept counting a job that no longer waits.
+func TestQueueDepthGaugeCancelWhileQueued(t *testing.T) {
+	store, err := OpenStore(filepath.Join(t.TempDir(), "farm.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := NewServer(store, Options{}) // never started: both jobs stay queued
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL)
+
+	j1, err := srv.Submit(smokeSpec("radix", "mix64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := srv.Submit(smokeSpec("lu", "mix64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := scrapeQueueDepth(t, c); d != 2 {
+		t.Fatalf("queue_depth with two queued jobs = %v, want 2", d)
+	}
+	if ok, err := c.Cancel(bg, j2.ID); err != nil || !ok {
+		t.Fatalf("cancel queued job: ok=%v err=%v", ok, err)
+	}
+	if d := scrapeQueueDepth(t, c); d != 1 {
+		t.Errorf("queue_depth after cancel = %v, want 1 (canceled job must leave the gauge immediately)", d)
+	}
+	if !srv.Cancel(j1.ID) {
+		t.Fatal("cancel of first job reported false")
+	}
+	if d := scrapeQueueDepth(t, c); d != 0 {
+		t.Errorf("queue_depth after canceling all = %v, want 0", d)
+	}
+	if h := srv.Health(); h.QueueDepth != 0 {
+		t.Errorf("health queue depth = %d, want 0", h.QueueDepth)
+	}
+}

@@ -56,6 +56,10 @@ type Options struct {
 	// JobWorkers is the number of campaigns executed concurrently
 	// (<= 0 selects 1: strict FIFO, one campaign at a time).
 	JobWorkers int
+	// Dispatcher, when non-nil, replaces the in-process replay worker pool
+	// — the fleet coordinator plugs in here to fan runs out to remote
+	// workers. Nil keeps the local pool.
+	Dispatcher Dispatcher
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...any)
 }
@@ -103,11 +107,16 @@ func NewServer(store *Store, opts Options) *Server {
 	}
 	s.metrics = newMetrics(s.reg)
 	store.setMetrics(s.metrics)
+	// The gauge counts jobs by STATE, not the length of the pending slice:
+	// the slice briefly disagrees with reality in both directions (a job
+	// canceled while queued stays in the slice until a worker pops it; a
+	// job re-queued by a shutdown interruption never re-enters it), and a
+	// daemon that Resume()d unfinished jobs must report each exactly once.
 	s.reg.GaugeFunc("checkfarm_queue_depth",
 		"Jobs queued and awaiting a worker.", func() float64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
-			return float64(len(s.pending))
+			return float64(s.queuedLocked())
 		})
 	s.reg.GaugeFunc("checkfarm_uptime_seconds",
 		"Seconds since this server was created.", func() float64 {
@@ -120,6 +129,17 @@ func NewServer(store *Store, opts Options) *Server {
 // Registry returns the server's metric registry, the one Handler serves at
 // /metrics. The daemon adds its process-level gauges here.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// queuedLocked counts jobs awaiting a worker. Caller holds s.mu.
+func (s *Server) queuedLocked() int {
+	n := 0
+	for _, job := range s.jobs {
+		if job.State == JobQueued {
+			n++
+		}
+	}
+	return n
+}
 
 // Resume reloads jobs from the store: finished jobs reappear with their
 // reports assembled from the hash log, and jobs the previous daemon never
@@ -233,7 +253,7 @@ func (s *Server) execute(ctx context.Context, job *Job) {
 	begun := time.Now()
 
 	prior := s.store.Job(job.ID)
-	rep, _, err := runJob(jobCtx, spec, prior, s.metrics,
+	rep, _, err := runJob(jobCtx, job.ID, spec, prior, s.metrics, s.opts.Dispatcher,
 		func(run int, res *sim.Result) error { return s.store.AppendRun(job.ID, run, res) },
 		func(done, total int) {
 			s.mu.Lock()
@@ -416,7 +436,7 @@ func (s *Server) Health() Health {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Jobs:          len(s.jobs),
 		Running:       running,
-		QueueDepth:    len(s.pending),
+		QueueDepth:    s.queuedLocked(),
 		StorePath:     s.store.Path(),
 	}
 }

@@ -14,6 +14,8 @@ import (
 
 // startTestDaemon wires a store into a served daemon and returns a client
 // for it. The daemon is torn down with the test.
+var bg = context.Background()
+
 func startTestDaemon(t *testing.T, storePath string, opts Options) (*Server, *Client) {
 	t.Helper()
 	store, err := OpenStore(storePath)
@@ -52,7 +54,7 @@ func TestServerEndToEnd(t *testing.T) {
 	_, c := startTestDaemon(t, filepath.Join(dir, "farm.log"), Options{RunWorkers: 4})
 
 	spec := smokeSpec("fft", "mix64")
-	job, err := c.Submit(spec)
+	job, err := c.Submit(bg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +70,11 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// The served report matches a direct in-process execution.
-	rep, err := c.Report(job.ID)
+	rep, err := c.Report(bg, job.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := runJob(context.Background(), spec, nil, nil, nil, nil)
+	want, _, err := runJob(context.Background(), "j000000", spec, nil, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// The hash-log stream parses and covers every (run, checkpoint).
-	logText, err := c.HashLog(job.ID)
+	logText, err := c.HashLog(bg, job.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +100,7 @@ func TestServerEndToEnd(t *testing.T) {
 
 	// Cross-host compare: the fetched text log against the job it came
 	// from (the two-host flow with both ends on one daemon).
-	cmp, err := c.Compare(CompareRequest{LogA: logText, JobB: job.ID})
+	cmp, err := c.Compare(bg, CompareRequest{LogA: logText, JobB: job.ID})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,12 +110,12 @@ func TestServerEndToEnd(t *testing.T) {
 
 	// A different workload's log diverges.
 	spec2 := smokeSpec("barnes", "mix64")
-	job2, err := c.Submit(spec2)
+	job2, err := c.Submit(bg, spec2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitDone(t, c, job2.ID)
-	cmp, err = c.Compare(CompareRequest{JobA: job.ID, JobB: job2.ID})
+	cmp, err = c.Compare(bg, CompareRequest{JobA: job.ID, JobB: job2.ID})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,15 +124,15 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// Error surface: unknown job is 404, bad spec is rejected.
-	if _, err := c.Report("j999999"); err == nil {
+	if _, err := c.Report(bg, "j999999"); err == nil {
 		t.Error("report for unknown job succeeded")
 	}
-	if _, err := c.Submit(JobSpec{App: "no-such-app"}); err == nil {
+	if _, err := c.Submit(bg, JobSpec{App: "no-such-app"}); err == nil {
 		t.Error("bad spec accepted")
 	}
 
 	// All three jobs... two jobs are listed, in submission order.
-	jobs, err := c.Jobs()
+	jobs, err := c.Jobs(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,15 +147,15 @@ func TestServerCancel(t *testing.T) {
 	dir := t.TempDir()
 	_, c := startTestDaemon(t, filepath.Join(dir, "farm.log"), Options{RunWorkers: 2, JobWorkers: 1})
 
-	first, err := c.Submit(smokeSpec("radix", "mix64"))
+	first, err := c.Submit(bg, smokeSpec("radix", "mix64"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := c.Submit(smokeSpec("lu", "mix64"))
+	queued, err := c.Submit(bg, smokeSpec("lu", "mix64"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := c.Cancel(queued.ID)
+	ok, err := c.Cancel(bg, queued.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +167,7 @@ func TestServerCancel(t *testing.T) {
 		t.Errorf("first job = %s: %s", job.State, job.Error)
 	}
 	// Terminal jobs cannot be canceled again.
-	if ok, _ := c.Cancel(first.ID); ok {
+	if ok, _ := c.Cancel(bg, first.ID); ok {
 		t.Error("cancel of finished job reported true")
 	}
 }
@@ -181,14 +183,14 @@ func TestServerKilledAndRestarted(t *testing.T) {
 	// Uninterrupted daemon: the reference report.
 	fullPath := filepath.Join(dir, "full.log")
 	_, c1 := startTestDaemon(t, fullPath, Options{RunWorkers: 4})
-	job, err := c1.Submit(spec)
+	job, err := c1.Submit(bg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st := waitDone(t, c1, job.ID).State; st != JobDone {
 		t.Fatalf("reference job state %s", st)
 	}
-	want, err := c1.Report(job.ID)
+	want, err := c1.Report(bg, job.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +239,7 @@ func TestServerKilledAndRestarted(t *testing.T) {
 	if resumed.State != JobDone || resumed.Error != "" {
 		t.Fatalf("resumed job %s: %s", resumed.State, resumed.Error)
 	}
-	got, err := c2.Report(job.ID)
+	got, err := c2.Report(bg, job.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +253,7 @@ func TestServerKilledAndRestarted(t *testing.T) {
 	if n := srv3.Job(job.ID); n == nil || n.State != JobDone {
 		t.Fatalf("job not done after clean restart: %+v", n)
 	}
-	again, err := c3.Report(job.ID)
+	again, err := c3.Report(bg, job.ID)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -99,6 +99,32 @@ func (jl *JobLog) HashLog() []HashLogLine {
 	return out
 }
 
+// sameResult checks a fresh result against this committed run's records,
+// the conflict detector behind AppendRun's idempotence.
+func (rl *RunLog) sameResult(res *sim.Result) error {
+	if len(rl.Checkpoints) != len(res.Checkpoints) {
+		return fmt.Errorf("committed %d checkpoints, appended %d", len(rl.Checkpoints), len(res.Checkpoints))
+	}
+	for i, cp := range res.Checkpoints {
+		have := rl.Checkpoints[i]
+		if have.Ordinal != cp.Ordinal || have.SH != cp.SH || have.Label != cp.Label {
+			return fmt.Errorf("checkpoint %d: committed (%d %v %q), appended (%d %v %q)",
+				i, have.Ordinal, have.SH, have.Label, cp.Ordinal, cp.SH, cp.Label)
+		}
+	}
+	if len(rl.Outputs) != len(res.Outputs) {
+		return fmt.Errorf("committed %d output streams, appended %d", len(rl.Outputs), len(res.Outputs))
+	}
+	for _, o := range rl.Outputs {
+		got, ok := res.Outputs[o.FD]
+		if !ok || got.Hash != o.Hash || got.Bytes != o.Bytes {
+			return fmt.Errorf("output fd %d: committed (%016x %d), appended (%016x %d ok=%v)",
+				o.FD, o.Hash, o.Bytes, got.Hash, got.Bytes, ok)
+		}
+	}
+	return nil
+}
+
 // Result reconstructs a committed run as a checker run result. Only the
 // hash-level fields are populated — exactly what report assembly compares.
 func (rl *RunLog) Result() *sim.Result {
@@ -358,12 +384,26 @@ func (s *Store) BeginJob(id JobID, spec JobSpec) error {
 
 // AppendRun commits one run's hashes: the checkpoint lines, the output
 // lines and the commit marker are appended and synced as a unit.
+//
+// The append is idempotent by run index: committing a run that is already
+// committed with identical content is a no-op (no duplicate lines reach
+// the log), which is what makes a fleet's straggler re-dispatch safe — a
+// re-dispatched shard and its zombie worker both append, the store keeps
+// one canonical record set. Content that DISAGREES with the committed run
+// is an error: runs are deterministic, so a conflict means a harness bug
+// (mismatched binaries or seeds), never a benign race.
 func (s *Store) AppendRun(id JobID, run int, res *sim.Result) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	jl := s.jobs[id]
 	if jl == nil {
 		return fmt.Errorf("farm: job %s not in store", id)
+	}
+	if prev := jl.runs[run]; prev != nil && prev.Done {
+		if err := prev.sameResult(res); err != nil {
+			return fmt.Errorf("farm: job %s run %d: duplicate append disagrees with committed record: %w", id, run, err)
+		}
+		return nil
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "runstart %s %d\n", id, run)

@@ -194,9 +194,13 @@ func TestCompareHashLogs(t *testing.T) {
 	if !reflect.DeepEqual(res.DifferingRuns, []int{1}) {
 		t.Errorf("differing runs = %v", res.DifferingRuns)
 	}
-	// A log missing a run is unequal but still compares the common runs.
+	// A log missing a run is unequal, still compares the common runs, and
+	// names the missing run instead of silently matching the prefix.
 	res = CompareHashLogs(a, a[:2])
-	if res.Equal || res.RunsCompared != 1 || res.First != nil {
-		t.Errorf("missing-run compare: %+v", res)
+	if res.Equal || res.RunsCompared != 1 || res.First == nil {
+		t.Fatalf("missing-run compare: %+v", res)
+	}
+	if res.First.Run != 1 || res.First.B != missingSide || !reflect.DeepEqual(res.OnlyA, []int{1}) {
+		t.Errorf("missing-run divergence = %+v only_a=%v", res.First, res.OnlyA)
 	}
 }

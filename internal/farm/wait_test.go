@@ -96,6 +96,36 @@ func TestWaitRespectsContext(t *testing.T) {
 	}
 }
 
+// TestWaitCancelCutsHangingPoll is the SIGINT regression test: the poll
+// request itself carries the context, so canceling mid-request aborts a
+// poll that would otherwise hang forever on an unresponsive daemon. The
+// old client built requests without a context — Wait could only notice
+// cancellation between polls, never during one.
+func TestWaitCancelCutsHangingPoll(t *testing.T) {
+	block := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block // hang every request until the test ends
+	}))
+	t.Cleanup(func() {
+		close(block)
+		hs.Close()
+	})
+	c := NewClient(hs.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Wait(ctx, "j000001", time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("err = %v, want context cancellation", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v: the in-flight poll was not aborted", elapsed)
+	}
+}
+
 // TestClientWaitSurvivesDaemonRestart is the end-to-end acceptance
 // scenario: checkd is killed mid-campaign and restarted on the same
 // address and store while a Client.Wait is in flight. The waiter must ride
@@ -107,14 +137,14 @@ func TestClientWaitSurvivesDaemonRestart(t *testing.T) {
 
 	// Reference: an uninterrupted daemon's report.
 	_, cref := startTestDaemon(t, filepath.Join(dir, "ref.log"), Options{RunWorkers: 4})
-	refJob, err := cref.Submit(spec)
+	refJob, err := cref.Submit(bg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st := waitDone(t, cref, refJob.ID).State; st != JobDone {
 		t.Fatalf("reference job state %s", st)
 	}
-	wantRep, err := cref.Report(refJob.ID)
+	wantRep, err := cref.Report(bg, refJob.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +171,7 @@ func TestClientWaitSurvivesDaemonRestart(t *testing.T) {
 	go hs1.Serve(ln1)
 
 	c := NewClient("http://" + addr)
-	job, err := c.Submit(spec)
+	job, err := c.Submit(bg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +252,7 @@ func TestClientWaitSurvivesDaemonRestart(t *testing.T) {
 	if res.job.State != JobDone || res.job.Error != "" {
 		t.Fatalf("resumed job %s: %s", res.job.State, res.job.Error)
 	}
-	gotRep, err := c.Report(job.ID)
+	gotRep, err := c.Report(bg, job.ID)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,568 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"instantcheck/internal/core"
+	"instantcheck/internal/farm"
+	"instantcheck/internal/obs"
+	"instantcheck/internal/sim"
+)
+
+var bg = context.Background()
+
+// fleetSpec is a campaign sized for fast distributed smoke tests: small
+// input, modest run count, fully specified seeds so every node resolves the
+// identical campaign.
+func fleetSpec(app string, runs int) farm.JobSpec {
+	return farm.JobSpec{
+		App:         app,
+		Runs:        runs,
+		Threads:     4,
+		Seed:        50,
+		InputSeed:   7,
+		Small:       true,
+		Parallelism: 4,
+	}
+}
+
+// recordedRunner resolves a spec and executes its recording run, yielding a
+// runner in the state runJob hands to a dispatcher.
+func recordedRunner(t *testing.T, spec farm.JobSpec) (core.Campaign, *core.Runner, []int) {
+	t.Helper()
+	camp, build, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := camp.NewRunner(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Record(); err != nil {
+		t.Fatal(err)
+	}
+	camp = runner.Campaign()
+	need := make([]int, 0, camp.Runs-1)
+	for run := 1; run < camp.Runs; run++ {
+		need = append(need, run)
+	}
+	return camp, runner, need
+}
+
+// TestBundleRoundTrip checks the content-addressed unit of the fleet: a
+// recorded replay state marshals deterministically, round-trips, and the
+// reconstructed state replays to the same hash vectors as the original.
+func TestBundleRoundTrip(t *testing.T) {
+	spec := fleetSpec("fft", 4)
+	camp, runner, _ := recordedRunner(t, spec)
+	st, err := runner.ReplayState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, digest, err := MarshalBundle(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, digest2, err := MarshalBundle(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) || digest != digest2 {
+		t.Fatalf("bundle marshaling is not deterministic")
+	}
+
+	back, err := UnmarshalBundle(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != st.Program {
+		t.Fatalf("program = %q, want %q", back.Program, st.Program)
+	}
+	_, build, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := camp.NewReplayRunner(build, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 1; run < camp.Runs; run++ {
+		want, err := runner.Replay(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := remote.Replay(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Checkpoints, got.Checkpoints) {
+			t.Fatalf("run %d: replay from round-tripped bundle diverges", run)
+		}
+	}
+
+	// Truncations fail loudly, never as empty logs.
+	for cut := 1; cut < len(raw); cut += len(raw)/7 + 1 {
+		if _, err := UnmarshalBundle(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes unmarshaled cleanly", cut)
+		}
+	}
+	if _, err := UnmarshalBundle([]byte("not a bundle at all")); err == nil {
+		t.Fatal("garbage unmarshaled cleanly")
+	}
+}
+
+// TestCoordinatorProtocol drives the lease/results state machine directly
+// (no HTTP, no Worker): claiming, idempotent append-back of a duplicated
+// batch, and immediate requeue of a shard released incomplete.
+func TestCoordinatorProtocol(t *testing.T) {
+	spec := fleetSpec("radix", 9)
+	camp, runner, need := recordedRunner(t, spec)
+
+	c := NewCoordinator(CoordinatorOptions{ShardSize: 4, LeaseTTL: time.Minute})
+	var mu sync.Mutex
+	delivered := map[int]int{}
+	deliver := func(run int, res *sim.Result) error {
+		mu.Lock()
+		defer mu.Unlock()
+		delivered[run]++
+		return nil
+	}
+	dispatchErr := make(chan error, 1)
+	go func() {
+		dispatchErr <- c.Dispatch(bg, "j000001", spec, runner, need, deliver)
+	}()
+
+	// The dispatch registers asynchronously; wait for its shards.
+	var li *LeaseInfo
+	for deadline := time.Now().Add(10 * time.Second); li == nil; {
+		li = c.nextLease("wA")
+		if li == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("no lease granted")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if len(li.Runs) != 4 || li.Job != "j000001" {
+		t.Fatalf("first lease = %+v", li)
+	}
+
+	records := make([]RunRecord, 0, len(li.Runs))
+	for _, run := range li.Runs {
+		res, err := runner.Replay(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, recordFromResult(run, res))
+	}
+	req := &resultsRequest{LeaseID: li.LeaseID, Worker: "wA", Job: li.Job, Fetch: "miss", Records: records}
+	accepted, ok := c.acceptResults(req, 100)
+	if accepted != 4 || !ok {
+		t.Fatalf("first batch: accepted=%d leaseOK=%v, want 4 true", accepted, ok)
+	}
+	// The identical batch again: a zombie re-post. Nothing double-delivers.
+	accepted, _ = c.acceptResults(req, 100)
+	if accepted != 0 {
+		t.Fatalf("duplicate batch accepted %d records", accepted)
+	}
+	if got := c.m.appendDuplicates.Value(); got != 4 {
+		t.Fatalf("appendback duplicates = %d, want 4", got)
+	}
+	for run, n := range delivered {
+		if n != 1 {
+			t.Fatalf("run %d delivered %d times", run, n)
+		}
+	}
+
+	// Second lease, released Done with only half its runs delivered — the
+	// rest must requeue immediately, not wait for TTL expiry.
+	li2 := c.nextLease("wA")
+	if li2 == nil || len(li2.Runs) != 4 {
+		t.Fatalf("second lease = %+v", li2)
+	}
+	partial := records[:0]
+	for _, run := range li2.Runs[:2] {
+		res, err := runner.Replay(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partial = append(partial, recordFromResult(run, res))
+	}
+	accepted, ok = c.acceptResults(&resultsRequest{
+		LeaseID: li2.LeaseID, Worker: "wA", Job: li2.Job, Records: partial, Done: true,
+	}, 50)
+	if accepted != 2 || ok {
+		t.Fatalf("partial done batch: accepted=%d leaseOK=%v, want 2 false", accepted, ok)
+	}
+	if got := c.m.runsRequeued.Value(); got != 2 {
+		t.Fatalf("runs requeued = %d, want 2", got)
+	}
+
+	// Drain everything that remains and the Dispatch must wake cleanly.
+	for {
+		li := c.nextLease("wB")
+		if li == nil {
+			break
+		}
+		var recs []RunRecord
+		for _, run := range li.Runs {
+			res, err := runner.Replay(run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs = append(recs, recordFromResult(run, res))
+		}
+		c.acceptResults(&resultsRequest{
+			LeaseID: li.LeaseID, Worker: "wB", Job: li.Job, Records: recs, Done: true,
+		}, 10)
+	}
+	select {
+	case err := <-dispatchErr:
+		if err != nil {
+			t.Fatalf("dispatch: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dispatch never completed")
+	}
+	if len(delivered) != camp.Runs-1 {
+		t.Fatalf("delivered %d distinct runs, want %d", len(delivered), camp.Runs-1)
+	}
+}
+
+// fleetDaemon is an in-process fleet: a farm daemon whose replay stage is a
+// coordinator, plus the HTTP endpoint its workers pull from.
+type fleetDaemon struct {
+	srv   *farm.Server
+	coord *Coordinator
+	url   string
+
+	cancel  context.CancelFunc
+	workers sync.WaitGroup
+}
+
+func startFleetDaemon(t *testing.T, storePath string, copts CoordinatorOptions) *fleetDaemon {
+	t.Helper()
+	store, err := farm.OpenStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(copts)
+	srv := farm.NewServer(store, farm.Options{Dispatcher: coord, Logf: t.Logf})
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.Start(ctx)
+	hs := httptest.NewServer(coord.Handler())
+	d := &fleetDaemon{srv: srv, coord: coord, url: hs.URL, cancel: cancel}
+	t.Cleanup(func() {
+		d.cancel()
+		d.workers.Wait()
+		hs.Close()
+		srv.Wait()
+		store.Close()
+	})
+	return d
+}
+
+// addWorker starts a worker loop against the daemon, returning its private
+// cancel so tests can kill one worker without touching the rest.
+func (d *fleetDaemon) addWorker(t *testing.T, ctx context.Context, o WorkerOptions) context.CancelFunc {
+	t.Helper()
+	o.Coordinator = d.url
+	if o.PollInterval == 0 {
+		o.PollInterval = 5 * time.Millisecond
+	}
+	if o.CacheDir == "" {
+		o.CacheDir = t.TempDir()
+	}
+	w, err := NewWorker(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	d.workers.Add(1)
+	go func() {
+		defer d.workers.Done()
+		w.Run(wctx)
+	}()
+	// Tie the worker to daemon teardown as well.
+	go func() {
+		<-ctx.Done()
+		cancel()
+	}()
+	return cancel
+}
+
+func (d *fleetDaemon) waitJob(t *testing.T, id farm.JobID) *farm.Job {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		job := d.srv.Job(id)
+		if job == nil {
+			t.Fatalf("job %s vanished", id)
+		}
+		if job.State.Terminal() {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s (%d/%d runs)", id, job.State, job.RunsDone, job.RunsTotal)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// singleNodeReport runs the same spec through a plain (local-dispatcher)
+// daemon — the reference a fleet campaign must reproduce byte for byte.
+func singleNodeReport(t *testing.T, spec farm.JobSpec) []byte {
+	t.Helper()
+	store, err := farm.OpenStore(filepath.Join(t.TempDir(), "single.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := farm.NewServer(store, farm.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.Start(ctx)
+	defer func() {
+		cancel()
+		srv.Wait()
+		store.Close()
+	}()
+	job, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for !srv.Job(job.ID).State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("single-node job stuck")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rep, err := srv.Report(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestFleetMatchesSingleNode is the subsystem's north star: a campaign
+// sharded across four worker processes produces a report byte-identical to
+// the single-node daemon's.
+func TestFleetMatchesSingleNode(t *testing.T) {
+	d := startFleetDaemon(t, filepath.Join(t.TempDir(), "fleet.log"),
+		CoordinatorOptions{ShardSize: 3, LeaseTTL: 5 * time.Second, Logf: t.Logf})
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	for _, name := range []string{"w0", "w1", "w2", "w3"} {
+		d.addWorker(t, ctx, WorkerOptions{Name: name, BatchSize: 2})
+	}
+
+	for _, app := range []string{"fft", "lu"} {
+		spec := fleetSpec(app, 8)
+		job, err := d.srv.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job = d.waitJob(t, job.ID)
+		if job.State != farm.JobDone || job.Error != "" {
+			t.Fatalf("%s: fleet job finished as %s: %s", app, job.State, job.Error)
+		}
+		rep, err := d.srv.Report(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := singleNodeReport(t, spec); !bytes.Equal(got, want) {
+			t.Errorf("%s: fleet report differs from single-node:\nfleet  %s\nsingle %s", app, got, want)
+		}
+	}
+	if got := d.coord.m.shardsCompleted.Value(); got == 0 {
+		t.Error("no shards recorded as completed")
+	}
+}
+
+// TestFleetWorkerKillConvergence kills one worker mid-shard (its process
+// context dies without any farewell to the coordinator — the in-process
+// equivalent of SIGKILL) and checks that lease expiry re-dispatches the
+// orphaned runs and the final report is still byte-identical to the
+// single-node reference.
+func TestFleetWorkerKillConvergence(t *testing.T) {
+	d := startFleetDaemon(t, filepath.Join(t.TempDir(), "fleet.log"),
+		CoordinatorOptions{ShardSize: 4, LeaseTTL: 300 * time.Millisecond, Logf: t.Logf})
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+
+	// The victim replays slowly, so it is guaranteed to still be mid-shard
+	// when the kill lands.
+	kill := d.addWorker(t, ctx, WorkerOptions{Name: "victim", RunLatency: 50 * time.Millisecond})
+
+	spec := fleetSpec("radix", 17)
+	job, err := d.srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the victim to hold a lease, then kill it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		d.coord.mu.Lock()
+		n := len(d.coord.leases)
+		d.coord.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never leased a shard")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	kill()
+
+	for _, name := range []string{"w1", "w2", "w3"} {
+		d.addWorker(t, ctx, WorkerOptions{Name: name})
+	}
+	job = d.waitJob(t, job.ID)
+	if job.State != farm.JobDone || job.Error != "" {
+		t.Fatalf("fleet job finished as %s: %s", job.State, job.Error)
+	}
+	if got := d.coord.m.shardsExpired.Value(); got == 0 {
+		t.Error("no lease expired despite the worker kill")
+	}
+	if got := d.coord.m.runsRequeued.Value(); got == 0 {
+		t.Error("no runs were re-queued despite the worker kill")
+	}
+
+	rep, err := d.srv.Report(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := singleNodeReport(t, spec); !bytes.Equal(got, want) {
+		t.Errorf("post-kill fleet report differs from single-node:\nfleet  %s\nsingle %s", got, want)
+	}
+}
+
+// TestBundleCacheHitMiss checks the content-addressed store economics: one
+// worker fetches a campaign's bundle exactly once, later shards and later
+// campaigns with the identical recording hit its disk cache.
+func TestBundleCacheHitMiss(t *testing.T) {
+	d := startFleetDaemon(t, filepath.Join(t.TempDir(), "fleet.log"),
+		CoordinatorOptions{ShardSize: 3, LeaseTTL: 5 * time.Second})
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	cache := t.TempDir()
+	d.addWorker(t, ctx, WorkerOptions{Name: "solo", CacheDir: cache})
+
+	spec := fleetSpec("fft", 8) // 7 replay runs -> 3 shards of <=3
+	for i := 0; i < 2; i++ {
+		job, err := d.srv.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job = d.waitJob(t, job.ID); job.State != farm.JobDone {
+			t.Fatalf("job %d finished as %s: %s", i, job.State, job.Error)
+		}
+	}
+
+	misses, hits := d.coord.m.fetchMisses.Value(), d.coord.m.fetchHits.Value()
+	if misses != 1 {
+		t.Errorf("bundle fetch misses = %d, want exactly 1 (both campaigns share one digest)", misses)
+	}
+	if hits < 4 {
+		t.Errorf("bundle fetch hits = %d, want >= 4", hits)
+	}
+	// The cache holds exactly the one bundle, named by its digest.
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("cache holds %d entries, want 1", len(entries))
+	}
+	raw, err := os.ReadFile(filepath.Join(cache, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalBundle(raw); err != nil {
+		t.Fatalf("cached bundle corrupt: %v", err)
+	}
+
+	// A corrupted cache entry is detected by digest verification and
+	// re-fetched, not trusted.
+	if err := os.WriteFile(filepath.Join(cache, entries[0].Name()), []byte("rotten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	job, err := d.srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job = d.waitJob(t, job.ID); job.State != farm.JobDone {
+		t.Fatalf("post-corruption job finished as %s: %s", job.State, job.Error)
+	}
+	if got := d.coord.m.fetchMisses.Value(); got != misses+1 {
+		t.Errorf("misses after cache corruption = %d, want %d", got, misses+1)
+	}
+}
+
+// TestFleetMetricsGolden pins the checkfleet metric families — names and
+// types are an interface consumed by dashboards and the stats command, so a
+// rename must be a conscious golden update. It also checks the merged
+// farm+fleet exposition lints cleanly, the same gate checkd applies at
+// startup.
+func TestFleetMetricsGolden(t *testing.T) {
+	d := startFleetDaemon(t, filepath.Join(t.TempDir(), "fleet.log"),
+		CoordinatorOptions{ShardSize: 3, LeaseTTL: 5 * time.Second})
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	d.addWorker(t, ctx, WorkerOptions{Name: "w0"})
+	job, err := d.srv.Submit(fleetSpec("fft", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job = d.waitJob(t, job.ID); job.State != farm.JobDone {
+		t.Fatalf("job finished as %s: %s", job.State, job.Error)
+	}
+
+	if err := obs.LintMerged(d.srv.Registry(), d.coord.Registry()); err != nil {
+		t.Fatalf("merged farm+fleet registries do not lint: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := d.coord.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var families []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families = append(families, line)
+		}
+	}
+	got := strings.Join(families, "\n") + "\n"
+
+	goldenPath := filepath.Join("testdata", "fleet_metrics.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate by writing the following)\n%s", err, got)
+	}
+	if got != string(want) {
+		t.Errorf("checkfleet metric families drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

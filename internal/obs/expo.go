@@ -84,6 +84,52 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// MergedHandler serves several registries as one scrape endpoint, their
+// families concatenated in argument order — how a daemon that embeds two
+// subsystems (the farm and a fleet coordinator, each with its own registry)
+// exposes a single /metrics. Callers should gate startup on LintMerged so a
+// family registered on both sides fails loudly instead of producing a
+// payload with duplicate TYPE lines.
+func MergedHandler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			r.WritePrometheus(w)
+		}
+	})
+}
+
+// LintMerged checks that the registries can merge into one well-formed
+// exposition payload: no family name may be registered in more than one of
+// them (the per-registry duplicate panic cannot catch cross-registry
+// collisions), and the concatenated rendering must pass Lint. It is the
+// startup gate for daemons serving MergedHandler.
+func LintMerged(regs ...*Registry) error {
+	owner := map[string]int{}
+	for i, r := range regs {
+		r.mu.Lock()
+		names := make([]string, 0, len(r.families))
+		for name := range r.families {
+			names = append(names, name)
+		}
+		r.mu.Unlock()
+		sort.Strings(names)
+		for _, name := range names {
+			if j, dup := owner[name]; dup {
+				return fmt.Errorf("obs: metric %s registered in merged registries %d and %d", name, j, i)
+			}
+			owner[name] = i
+		}
+	}
+	var sb strings.Builder
+	for _, r := range regs {
+		if err := r.WritePrometheus(&sb); err != nil {
+			return err
+		}
+	}
+	return Lint(strings.NewReader(sb.String()))
+}
+
 // Sample is one parsed exposition line.
 type Sample struct {
 	// Name is the sample name (for histograms, including the _bucket/_sum/

@@ -335,6 +335,62 @@ func (v *CounterVec) WithSharded(value string) *ShardedCounter {
 	return s
 }
 
+// GaugeVec is a family of gauges distinguished by one label — the fleet's
+// per-worker liveness series is the motivating user: one family, one series
+// per worker name, workers appearing dynamically as they first report in.
+type GaugeVec struct {
+	f     *family
+	label string
+
+	mu      sync.Mutex
+	byValue map[string]*Gauge
+	funcs   map[string]bool
+}
+
+// GaugeVec registers a gauge family partitioned by the given label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if !labelName.MatchString(label) {
+		panic("obs: invalid label name " + label)
+	}
+	return &GaugeVec{
+		f:       r.newFamily(name, help, kindGauge),
+		label:   label,
+		byValue: make(map[string]*Gauge),
+		funcs:   make(map[string]bool),
+	}
+}
+
+// With returns the gauge for the given label value, creating it on first
+// use. The returned gauge is cached; hot callers should hold on to it.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g := v.byValue[value]
+	if g == nil {
+		g = &Gauge{}
+		v.byValue[value] = g
+		v.f.add(&series{
+			labels: renderLabels(v.label, value),
+			read:   func() float64 { return float64(g.Value()) },
+		})
+	}
+	return g
+}
+
+// Func registers a scrape-time computed series for the given label value.
+// The first registration for a value wins; later calls are no-ops, so
+// callers that re-announce an entity (a worker reconnecting) need not track
+// whether its series already exists. fn must be safe to call concurrently.
+func (v *GaugeVec) Func(value string, fn func() float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.funcs[value] || v.byValue[value] != nil {
+		return
+	}
+	v.funcs[value] = true
+	v.f.add(&series{labels: renderLabels(v.label, value), read: fn})
+}
+
 // renderLabels formats a single-label suffix with exposition escaping.
 func renderLabels(name, value string) string {
 	return fmt.Sprintf("{%s=%q}", name, value)

@@ -168,3 +168,90 @@ func TestLintRejectsMalformed(t *testing.T) {
 		t.Errorf("lint rejected valid payload: %v", err)
 	}
 }
+
+// TestGaugeVec pins the labeled-gauge family: settable series via With,
+// scrape-time series via Func, first registration winning on re-announce.
+func TestGaugeVec(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.GaugeVec("test_worker_live", "liveness per worker", "worker")
+	v.With("w1").Set(1)
+	v.With("w1").Set(0) // same series, not a duplicate
+	live := 1.0
+	v.Func("w2", func() float64 { return live })
+	v.Func("w2", func() float64 { return 99 }) // re-announce: first wins
+	v.Func("w1", func() float64 { return 99 }) // value already has a gauge: no-op
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("gauge vec exposition fails lint: %v\n%s", err, text)
+	}
+	samples, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		if s.Name == "test_worker_live" {
+			got[s.Label("worker")] = s.Value
+		}
+	}
+	if got["w1"] != 0 || got["w2"] != 1 {
+		t.Errorf("worker series = %v, want w1=0 w2=1", got)
+	}
+	live = 0
+	sb.Reset()
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `test_worker_live{worker="w2"} 0`) {
+		t.Errorf("Func series did not recompute at scrape time:\n%s", sb.String())
+	}
+}
+
+// TestLintMerged pins the cross-registry gate: disjoint registries merge
+// into one lint-clean payload, a family name registered on both sides is
+// rejected even though each registry is individually valid.
+func TestLintMerged(t *testing.T) {
+	farm := NewRegistry()
+	farm.Counter("checkfarm_jobs_total", "jobs").Inc()
+	farm.Histogram("checkfarm_append_seconds", "append latency", []float64{1})
+	fleet := NewRegistry()
+	fleet.Counter("checkfleet_shards_total", "shards").Inc()
+	fleet.GaugeVec("checkfleet_worker_live", "liveness", "worker").With("w1").Set(1)
+
+	if err := LintMerged(farm, fleet); err != nil {
+		t.Fatalf("disjoint registries rejected: %v", err)
+	}
+
+	// The merged payload is exactly the concatenation MergedHandler serves.
+	srv := httptest.NewServer(MergedHandler(farm, fleet))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	samples, err := ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, s := range samples {
+		have[s.Name] = true
+	}
+	for _, name := range []string{"checkfarm_jobs_total", "checkfleet_shards_total", "checkfleet_worker_live"} {
+		if !have[name] {
+			t.Errorf("merged scrape missing %s", name)
+		}
+	}
+
+	// A collision: both registries own the same family name.
+	clash := NewRegistry()
+	clash.Counter("checkfarm_jobs_total", "colliding family").Inc()
+	err = LintMerged(farm, clash)
+	if err == nil || !strings.Contains(err.Error(), "checkfarm_jobs_total") {
+		t.Errorf("collision not rejected: %v", err)
+	}
+}
