@@ -47,25 +47,36 @@ fleet-smoke:
 	$(GO) run ./cmd/fleetsmoke
 
 # The tier-1 perf suite, recorded into the repo's benchmark trajectory as an
-# interleaved A/B over the traversal delta cache: each round runs the whole
-# suite once with ICHECK_TRAVERSE_DELTA=off (the pre-delta full sweep —
-# "baseline") and once with the default delta mode ("after"), so both
-# sections sample the same machine conditions round by round. benchjson
-# averages a section's repeated rounds; BENCHTIME stays small because the
-# rounds are the averaging.
-BENCH_OUT    ?= BENCH_5.json
+# interleaved A/B over the per-thread store buffer: each round runs the
+# whole suite once with ICHECK_STORE_BUFFER=off (the pre-buffer inline
+# per-store hashing — "baseline") and once with the default buffered mode
+# ("after"), so both sections sample the same machine conditions round by
+# round. Odd rounds run baseline first, even rounds run after first: with
+# an even round count a linear machine-speed drift contributes equally to
+# both sections instead of systematically penalizing whichever one runs
+# second. Everything else, the traversal delta cache included, stays at its
+# default in both sections, so the buffer is the only knob that varies.
+# benchjson averages a section's repeated rounds; BENCHTIME stays small
+# because the rounds are the averaging. (BENCH_5 recorded the same suite's
+# delta-cache A/B over ICHECK_TRAVERSE_DELTA; BENCH_7 is this one.)
+BENCH_OUT    ?= BENCH_7.json
 BENCHTIME    ?= 2x
-BENCH_ROUNDS ?= 3
-BENCH_REGEX  ?= SchemeAblation|CheckApp|FarmThroughput$$|MemStoreLoad|AllocFree|TraverseHash|ZeroSumCache|WriteBatch|HashWord|AccumulatorWrite
+BENCH_ROUNDS ?= 4
+BENCH_REGEX  ?= SchemeAblation|CheckApp|FarmThroughput$$|MemStoreLoad|AllocFree|TraverseHash|ZeroSumCache|WriteBatch|WriteScattered|HashWord|AccumulatorWrite
 BENCH_PKGS   = . ./internal/mem ./internal/sim ./internal/ihash
 bench-json:
 	@rm -f $(BENCH_OUT).base.tmp $(BENCH_OUT).after.tmp
 	for r in $$(seq $(BENCH_ROUNDS)); do \
-		ICHECK_TRAVERSE_DELTA=off $(GO) test -run=NONE -bench='$(BENCH_REGEX)' -benchmem -benchtime=$(BENCHTIME) $(BENCH_PKGS) >> $(BENCH_OUT).base.tmp || exit 1; \
-		$(GO) test -run=NONE -bench='$(BENCH_REGEX)' -benchmem -benchtime=$(BENCHTIME) $(BENCH_PKGS) >> $(BENCH_OUT).after.tmp || exit 1; \
+		if [ $$((r % 2)) -eq 1 ]; then \
+			ICHECK_STORE_BUFFER=off $(GO) test -run=NONE -bench='$(BENCH_REGEX)' -benchmem -benchtime=$(BENCHTIME) $(BENCH_PKGS) >> $(BENCH_OUT).base.tmp || exit 1; \
+			$(GO) test -run=NONE -bench='$(BENCH_REGEX)' -benchmem -benchtime=$(BENCHTIME) $(BENCH_PKGS) >> $(BENCH_OUT).after.tmp || exit 1; \
+		else \
+			$(GO) test -run=NONE -bench='$(BENCH_REGEX)' -benchmem -benchtime=$(BENCHTIME) $(BENCH_PKGS) >> $(BENCH_OUT).after.tmp || exit 1; \
+			ICHECK_STORE_BUFFER=off $(GO) test -run=NONE -bench='$(BENCH_REGEX)' -benchmem -benchtime=$(BENCHTIME) $(BENCH_PKGS) >> $(BENCH_OUT).base.tmp || exit 1; \
+		fi; \
 	done
-	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section baseline -note "make bench-json, delta off, benchtime=$(BENCHTIME), rounds=$(BENCH_ROUNDS)" < $(BENCH_OUT).base.tmp
-	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section after -note "make bench-json, delta auto, benchtime=$(BENCHTIME), rounds=$(BENCH_ROUNDS)" < $(BENCH_OUT).after.tmp
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section baseline -note "make bench-json, store buffer off, benchtime=$(BENCHTIME), order-alternating rounds=$(BENCH_ROUNDS)" < $(BENCH_OUT).base.tmp
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section after -note "make bench-json, store buffer auto, benchtime=$(BENCHTIME), order-alternating rounds=$(BENCH_ROUNDS)" < $(BENCH_OUT).after.tmp
 	@rm -f $(BENCH_OUT).base.tmp $(BENCH_OUT).after.tmp
 
 # The fleet scaling benchmark, recorded as the repo's BENCH_6 trajectory:

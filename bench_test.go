@@ -168,6 +168,47 @@ func BenchmarkCheckAppTr(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckAppSWInc measures one full checking campaign (30 runs) per
+// workload under SW-InstantCheck_Inc, the scheme whose per-store software
+// hashing the per-thread store buffer batches. Setting
+// ICHECK_STORE_BUFFER=off pins every store to the pre-buffer inline path;
+// the benchmark names stay identical, so the two settings feed benchjson's
+// interleaved-A/B sections directly (see make bench-json). Buffered runs
+// assert the batch path was actually exercised — the bench-smoke gate
+// against silently benchmarking the inline path twice.
+func BenchmarkCheckAppSWInc(b *testing.B) {
+	words := 0 // auto
+	if os.Getenv("ICHECK_STORE_BUFFER") == "off" {
+		words = -1
+	}
+	for _, app := range Workloads() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				camp := Campaign{
+					Runs: 30, Threads: 8, Scheme: SWInc,
+					RoundFP: app.UsesFP, Ignore: app.IgnoreSet(),
+					StoreBufferWords: words,
+				}
+				rep, err := Check(camp, app.Builder(WorkloadOptions{}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var flushes uint64
+				for _, r := range rep.Runs {
+					flushes += r.MHMStats.BufferFlushes
+				}
+				if words == 0 && flushes == 0 {
+					b.Fatal("buffered campaign never drained a store buffer")
+				}
+				if words < 0 && flushes != 0 {
+					b.Fatal("inline campaign drained a store buffer")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHasherAblation compares the two location hashes on a real
 // checking campaign — the design-choice ablation for DESIGN.md's "h is
 // pluggable" decision. Both must yield identical verdicts.

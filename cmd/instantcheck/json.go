@@ -45,11 +45,12 @@ type distJSON struct {
 }
 
 type overheadJSON struct {
-	App         string  `json:"app"`
-	NativeInstr uint64  `json:"native_instr"`
-	HWInc       float64 `json:"hw_inc"`
-	SWIncIdeal  float64 `json:"sw_inc_ideal"`
-	SWTrIdeal   float64 `json:"sw_tr_ideal"`
+	App           string  `json:"app"`
+	NativeInstr   uint64  `json:"native_instr"`
+	HWInc         float64 `json:"hw_inc"`
+	SWIncIdeal    float64 `json:"sw_inc_ideal"`
+	SWIncBuffered float64 `json:"sw_inc_buffered"`
+	SWTrIdeal     float64 `json:"sw_tr_ideal"`
 }
 
 func emitJSON(v any) error {
@@ -105,7 +106,8 @@ func overheadToJSON(rows []instantcheck.Overhead) []overheadJSON {
 	for _, r := range rows {
 		out = append(out, overheadJSON{
 			App: r.Program, NativeInstr: r.NativeInstr,
-			HWInc: r.HWInc, SWIncIdeal: r.SWIncIdeal, SWTrIdeal: r.SWTrIdeal,
+			HWInc: r.HWInc, SWIncIdeal: r.SWIncIdeal,
+			SWIncBuffered: r.SWIncBuffered, SWTrIdeal: r.SWTrIdeal,
 		})
 	}
 	return out

@@ -44,6 +44,9 @@ func remoteStats(ctx context.Context, c *farm.Client, args []string, w io.Writer
 	if line := deltaRatioLine(samples); line != "" {
 		fmt.Fprintln(w, line)
 	}
+	if line := coalesceLine(samples); line != "" {
+		fmt.Fprintln(w, line)
+	}
 	if line := fleetLine(samples); line != "" {
 		fmt.Fprintln(w, line)
 	}
@@ -71,6 +74,32 @@ func deltaRatioLine(samples []obs.Sample) string {
 	}
 	return fmt.Sprintf("traverse delta: %s of %s live pages rehashed (%.1f%% dirty)",
 		formatMetric(dirty), formatMetric(live), 100*dirty/live)
+}
+
+// coalesceLine summarizes the store buffer's effectiveness: how many stores
+// the incremental schemes absorbed into pending buffer entries against the
+// word updates that reached the hash kernel at drain time, across however
+// many flushes. Empty before any buffered run has drained (buffer off, or a
+// traversal-only daemon). Per-scheme series fold to a daemon-wide total,
+// like fleetLine's leased shards.
+func coalesceLine(samples []obs.Sample) string {
+	var flushes, drained, coalesced float64
+	for _, s := range samples {
+		switch s.Name {
+		case "instantcheck_storebuffer_flushes_total":
+			flushes += s.Value
+		case "instantcheck_storebuffer_drained_words_total":
+			drained += s.Value
+		case "instantcheck_storebuffer_coalesced_total":
+			coalesced += s.Value
+		}
+	}
+	if flushes <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("store buffer: %s stores coalesced into %s drained words over %s flushes (%.1f%% absorbed)",
+		formatMetric(coalesced), formatMetric(drained), formatMetric(flushes),
+		100*coalesced/(coalesced+drained))
 }
 
 // fleetLine summarizes a fleet-mode daemon: live workers, shard traffic and

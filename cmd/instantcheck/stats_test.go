@@ -37,6 +37,15 @@ instantcheck_stores_total{scheme="HW-InstantCheck_Inc"} 4228
 instantcheck_traverse_dirty_pages_total 150
 # TYPE instantcheck_traverse_live_pages_total counter
 instantcheck_traverse_live_pages_total 4000
+# TYPE instantcheck_storebuffer_flushes_total counter
+instantcheck_storebuffer_flushes_total{scheme="HW-InstantCheck_Inc"} 40
+instantcheck_storebuffer_flushes_total{scheme="SW-InstantCheck_Inc"} 10
+# TYPE instantcheck_storebuffer_drained_words_total counter
+instantcheck_storebuffer_drained_words_total{scheme="HW-InstantCheck_Inc"} 800
+instantcheck_storebuffer_drained_words_total{scheme="SW-InstantCheck_Inc"} 200
+# TYPE instantcheck_storebuffer_coalesced_total counter
+instantcheck_storebuffer_coalesced_total{scheme="HW-InstantCheck_Inc"} 2400
+instantcheck_storebuffer_coalesced_total{scheme="SW-InstantCheck_Inc"} 600
 # TYPE checkfarm_run_duration_seconds histogram
 checkfarm_run_duration_seconds_bucket{le="0.01"} 3
 checkfarm_run_duration_seconds_bucket{le="+Inf"} 4
@@ -62,6 +71,7 @@ func TestRemoteStatsRendering(t *testing.T) {
 		"4228",
 		"checkfarm_run_duration_seconds", "count 4, mean 0.25",
 		"traverse delta: 150 of 4000 live pages rehashed (3.8% dirty)",
+		"store buffer: 3000 stores coalesced into 1000 drained words over 50 flushes (75.0% absorbed)",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("stats output missing %q:\n%s", want, text)

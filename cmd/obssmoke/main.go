@@ -45,6 +45,8 @@ var requiredSeries = []string{
 	"instantcheck_fastwindow_misses_total",
 	"instantcheck_traverse_delta_sweeps_total",
 	"instantcheck_traverse_dirty_pages_total",
+	"instantcheck_storebuffer_flushes_total",
+	"instantcheck_storebuffer_coalesced_total",
 	"checkd_goroutines",
 }
 

@@ -380,14 +380,14 @@ func FormatDistributions(ds []Distribution) string {
 // FormatFigure6 renders the overhead rows as text.
 func FormatFigure6(rows []Overhead) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %14s %12s %14s %14s\n", "Application", "Native instr", "HW-Inc", "SW-Inc-Ideal", "SW-Tr-Ideal")
+	fmt.Fprintf(&b, "%-14s %14s %12s %14s %14s %14s\n", "Application", "Native instr", "HW-Inc", "SW-Inc-Ideal", "SW-Inc-Buf", "SW-Tr-Ideal")
 	for _, r := range rows {
 		native := "-"
 		if r.NativeInstr > 0 {
 			native = fmt.Sprint(r.NativeInstr)
 		}
-		fmt.Fprintf(&b, "%-14s %14s %12s %14s %14s\n", r.Program, native,
-			formatX(r.HWInc), formatX(r.SWIncIdeal), formatX(r.SWTrIdeal))
+		fmt.Fprintf(&b, "%-14s %14s %12s %14s %14s %14s\n", r.Program, native,
+			formatX(r.HWInc), formatX(r.SWIncIdeal), formatX(r.SWIncBuffered), formatX(r.SWTrIdeal))
 	}
 	return b.String()
 }

@@ -152,6 +152,11 @@ func TestFigure6SmallScale(t *testing.T) {
 		if r.SWIncIdeal <= 1 || r.SWTrIdeal <= 1 {
 			t.Errorf("%s: software overheads must exceed native: %+v", r.Program, r)
 		}
+		// The store buffer can only remove hash pairs, never add them,
+		// and software hashing stays costlier than the hardware datapath.
+		if !(r.HWInc < r.SWIncBuffered && r.SWIncBuffered <= r.SWIncIdeal) {
+			t.Errorf("%s: want HW < SW-Inc-Buf <= SW-Inc-Ideal: %+v", r.Program, r)
+		}
 	}
 	geo := byName["GEOM"]
 	if geo.HWInc > 1.02 {

@@ -277,6 +277,11 @@ func (s *atomScanner) scanExpr(e ast.Expr, st *atomState) {
 				// Synchronization orders the earlier load before any
 				// conflicting store: the pair is no longer an unlocked RMW.
 				st.binds = make(map[types.Object]string)
+			case "Checkpoint", "StartHashing", "StopHashing", "Yield":
+				// Store-buffer drain points, but NOT synchronization: they
+				// make the thread hash observable without ordering this
+				// thread's accesses against anyone else's, so an RMW
+				// spanning one is still an unlocked RMW. Binds survive.
 			case "Store", "StoreF":
 				s.checkStore(n, st)
 			}

@@ -49,4 +49,21 @@ func (p *prog) Worker(t *sim.Thread) {
 	x := t.Load(p.acc)
 	t.BarrierWait(p.bar)
 	t.Store(p.acc, x)
+
+	// Store-buffer drain points are NOT synchronization: a checkpoint,
+	// hashing-gate toggle or yield between the load and the store makes
+	// the thread hash observable but orders nothing, so the RMW is still
+	// flagged.
+	y := t.Load(p.acc)
+	t.Checkpoint("at.cp")
+	t.Store(p.acc, y+1) // want `read-modify-write of shared address p\.acc is not atomic`
+
+	z := t.Load(p.acc)
+	t.StopHashing()
+	t.StartHashing()
+	t.Store(p.acc, z+1) // want `read-modify-write of shared address p\.acc is not atomic`
+
+	q := t.Load(p.acc)
+	t.Yield()
+	t.Store(p.acc, q+1) // want `read-modify-write of shared address p\.acc is not atomic`
 }

@@ -1,0 +1,91 @@
+package apps
+
+import (
+	"reflect"
+	"testing"
+
+	"instantcheck/internal/core"
+	"instantcheck/internal/sim"
+)
+
+// TestStoreBufferMatchesInline runs every workload's checking campaign
+// under SW-InstantCheck_Inc twice — per-thread store-buffer batching vs
+// inline per-store hashing — and requires byte-identical reports: the same
+// raw and ignore-adjusted State Hash at every checkpoint of every run, the
+// same distributions, the same verdicts. This is the store buffer's
+// end-to-end correctness contract (coalesced drains must reproduce the
+// exact digests, not merely the verdicts), checked across all 17 apps'
+// allocation, free, FP-rounding and ignore-set behavior. CI runs this
+// package under -race, so it also vouches that buffering added no sharing
+// between worker goroutines.
+func TestStoreBufferMatchesInline(t *testing.T) {
+	for _, app := range Registry() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			opts := testOptions()
+			camp := testCampaign()
+			camp.Runs = 4
+			camp.Scheme = sim.SWInc
+			camp.RoundFP = app.UsesFP
+			camp.Ignore = app.IgnoreSet()
+
+			run := func(words int) *core.Report {
+				t.Helper()
+				c := camp
+				c.StoreBufferWords = words
+				rep, err := c.Check(app.Builder(opts))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			inline := run(-1)  // negative disables the buffer
+			buffered := run(0) // 0 = auto-sized buffer, the default
+
+			if inline.Points() != buffered.Points() {
+				t.Fatalf("point counts differ: inline %d, buffered %d", inline.Points(), buffered.Points())
+			}
+			var flushes uint64
+			for i := range inline.Runs {
+				ir, br := inline.Runs[i], buffered.Runs[i]
+				if !reflect.DeepEqual(ir.Checkpoints, br.Checkpoints) {
+					for j := range ir.Checkpoints {
+						a, b := ir.Checkpoints[j], br.Checkpoints[j]
+						if a.RawSH != b.RawSH || a.SH != b.SH {
+							t.Fatalf("run %d checkpoint %d (%s): inline raw %s adj %s, buffered raw %s adj %s",
+								i, j, a.Label, a.RawSH, a.SH, b.RawSH, b.SH)
+						}
+					}
+					t.Fatalf("run %d: checkpoint records differ beyond hashes", i)
+				}
+				if ir.OutputHash != br.OutputHash || ir.OutputBytes != br.OutputBytes {
+					t.Fatalf("run %d: output streams differ", i)
+				}
+				if ir.MHMStats.BufferFlushes != 0 {
+					t.Errorf("run %d: inline campaign drained a store buffer", i)
+				}
+				flushes += br.MHMStats.BufferFlushes
+				// Per-store accounting must not notice the buffer.
+				if ir.MHMStats.HashedStores != br.MHMStats.HashedStores ||
+					ir.MHMStats.SkippedStores != br.MHMStats.SkippedStores ||
+					ir.MHMStats.RoundedStores != br.MHMStats.RoundedStores {
+					t.Errorf("run %d: per-store stats diverged: inline %+v, buffered %+v",
+						i, ir.MHMStats, br.MHMStats)
+				}
+			}
+			if flushes == 0 {
+				t.Error("buffered campaign never drained: the batch path was not exercised")
+			}
+			for i := range inline.Stats {
+				if inline.Stats[i].DistKey() != buffered.Stats[i].DistKey() {
+					t.Errorf("checkpoint %d: distributions differ: %s vs %s",
+						i, inline.Stats[i].DistKey(), buffered.Stats[i].DistKey())
+				}
+			}
+			if inline.Deterministic() != buffered.Deterministic() {
+				t.Errorf("verdicts differ: inline %v, buffered %v", inline.Deterministic(), buffered.Deterministic())
+			}
+		})
+	}
+}

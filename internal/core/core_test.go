@@ -347,9 +347,39 @@ func TestOverheadModel(t *testing.T) {
 	if got, want := ov.SWIncIdeal, 2.938; !fpnear(got, want) {
 		t.Errorf("SWInc = %v, want %v", got, want)
 	}
+	// Unbuffered run (no flushes): the buffered bound degenerates to ideal.
+	if got, want := ov.SWIncBuffered, ov.SWIncIdeal; !fpnear(got, want) {
+		t.Errorf("SWIncBuffered = %v, want ideal %v on an unbuffered run", got, want)
+	}
 	// SW-Tr: 1000 + 6 + 50*80 = 5006
 	if got, want := ov.SWTrIdeal, 5.006; !fpnear(got, want) {
 		t.Errorf("SWTr = %v, want %v", got, want)
+	}
+}
+
+// TestOverheadBuffered pins the buffered SW-Inc accounting: stores pay the
+// append, only the measured drain pairs pay the hash.
+func TestOverheadBuffered(t *testing.T) {
+	c := sim.Counters{
+		Instr:                   1000,
+		Stores:                  10,
+		AllocZeroWords:          4,
+		FreeEraseWords:          2,
+		CheckpointWords:         50,
+		StoreBufferFlushes:      1,
+		StoreBufferDrainedWords: 3,
+		StoreBufferEvictions:    1,
+	}
+	ov := DefaultCostModel.Overheads("x", c)
+	// 1000 + 6 + (10+2)*8 + (3+1)*2*80 = 1742.
+	if got, want := ov.SWIncBuffered, 1.742; !fpnear(got, want) {
+		t.Errorf("SWIncBuffered = %v, want %v", got, want)
+	}
+	if !(ov.SWIncBuffered < ov.SWIncIdeal) {
+		t.Errorf("buffered (%v) should undercut ideal (%v)", ov.SWIncBuffered, ov.SWIncIdeal)
+	}
+	if !(ov.HWInc < ov.SWIncBuffered) {
+		t.Errorf("buffered (%v) should still cost more than hardware (%v)", ov.SWIncBuffered, ov.HWInc)
 	}
 }
 

@@ -53,6 +53,12 @@ type Metrics struct {
 	travDeltaSweeps *obs.ShardedCounter
 	travDirtyPages  *obs.ShardedCounter
 	travLivePages   *obs.ShardedCounter
+
+	// Store-buffer batching (per-thread coalescing in the incremental
+	// schemes), per scheme.
+	sbufFlushes   *obs.CounterVec // sharded
+	sbufDrained   *obs.CounterVec // sharded
+	sbufCoalesced *obs.CounterVec // sharded
 }
 
 // metricShards is the shard count for counters bumped by concurrent run
@@ -111,6 +117,12 @@ func newMetrics(reg *obs.Registry) *Metrics {
 			"Pages rehashed by delta sweeps (the work delta checkpoints actually did).", metricShards),
 		travLivePages: reg.Sharded("instantcheck_traverse_live_pages_total",
 			"Per-page cache size sampled at each delta sweep (the work a full sweep would have done).", metricShards),
+		sbufFlushes: reg.ShardedCounterVec("instantcheck_storebuffer_flushes_total",
+			"Store-buffer drains through the scattered-batch hash kernel, by scheme.", "scheme", metricShards),
+		sbufDrained: reg.ShardedCounterVec("instantcheck_storebuffer_drained_words_total",
+			"Coalesced word updates hashed at drain time, by scheme.", "scheme", metricShards),
+		sbufCoalesced: reg.ShardedCounterVec("instantcheck_storebuffer_coalesced_total",
+			"Stores absorbed into a pending buffer entry instead of being hashed, by scheme.", "scheme", metricShards),
 	}
 }
 
@@ -143,6 +155,9 @@ func (m *Metrics) observeRun(scheme sim.Scheme, shard int, res *sim.Result, d ti
 	m.travDeltaSweeps.Add(shard, c.TraverseDeltaSweeps)
 	m.travDirtyPages.Add(shard, c.TraverseDirtyPages)
 	m.travLivePages.Add(shard, c.TraverseLivePages)
+	m.sbufFlushes.WithSharded(label).Add(shard, c.StoreBufferFlushes)
+	m.sbufDrained.WithSharded(label).Add(shard, c.StoreBufferDrainedWords)
+	m.sbufCoalesced.WithSharded(label).Add(shard, c.StoreBufferCoalesced)
 }
 
 // storeAppend records one durable append's outcome; the store calls it from

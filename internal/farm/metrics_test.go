@@ -113,6 +113,20 @@ func TestMetricsEndpoint(t *testing.T) {
 	if v := sampleValue(t, samples, "instantcheck_checkpoint_words_total", scheme); v <= 0 {
 		t.Errorf("checkpoint_words = %v, want > 0", v)
 	}
+	// Store-buffer batching is on by default for the incremental schemes:
+	// every run drains at least once (thread exit). For fft the drained
+	// words stay below the hashed stores — coalescing and elision only
+	// remove work. (Not an invariant for every app: free erasure also
+	// feeds the buffer, so free-heavy workloads can drain more words than
+	// HashedStores counts.)
+	flushes := sampleValue(t, samples, "instantcheck_storebuffer_flushes_total", scheme)
+	drained := sampleValue(t, samples, "instantcheck_storebuffer_drained_words_total", scheme)
+	if flushes <= 0 || drained <= 0 {
+		t.Errorf("storebuffer flushes=%v drained=%v, want both > 0", flushes, drained)
+	}
+	if drained > hashed {
+		t.Errorf("storebuffer drained words (%v) > stores hashed (%v)", drained, hashed)
+	}
 	// Fast-window accounting: both sides of the derived hit rate must be
 	// populated. (How they compare is workload-dependent — fft's scattered
 	// bit-reversal accesses miss the one-page window most of the time,

@@ -42,6 +42,28 @@ type Stats struct {
 	Saves uint64
 	// Restores counts restore_hash instructions.
 	Restores uint64
+
+	// The remaining fields measure the store buffer (zero when the unit
+	// hashes inline). HashedStores still counts every store observed while
+	// hashing — buffering changes when and how often terms are hashed, not
+	// how many stores were covered.
+
+	// BufferFlushes counts drains of the store buffer.
+	BufferFlushes uint64
+	// DrainedWords counts coalesced entries hashed at drains; the gap
+	// HashedStores − DrainedWords is the hot-path hashing the buffer
+	// amortized away.
+	DrainedWords uint64
+	// CoalescedStores counts stores that merged into an already-pending
+	// entry for their address instead of adding hash terms.
+	CoalescedStores uint64
+	// ConflictEvictions counts pending entries emitted early because the
+	// incoming store's old value no longer matched the entry's new value
+	// (another thread wrote the word in between).
+	ConflictEvictions uint64
+	// ElidedWords counts entries dropped at drain because their old and
+	// new values were equal — windows whose stores net to no change.
+	ElidedWords uint64
 }
 
 // Add accumulates o into s.
@@ -53,6 +75,11 @@ func (s *Stats) Add(o Stats) {
 	s.PlusOps += o.PlusOps
 	s.Saves += o.Saves
 	s.Restores += o.Restores
+	s.BufferFlushes += o.BufferFlushes
+	s.DrainedWords += o.DrainedWords
+	s.CoalescedStores += o.CoalescedStores
+	s.ConflictEvictions += o.ConflictEvictions
+	s.ElidedWords += o.ElidedWords
 }
 
 // Dispatcher selects, for the i-th hash term of a store, which cluster of a
@@ -72,6 +99,10 @@ type Unit struct {
 	hashing  bool
 	rounding bool
 	policy   fpround.Policy
+
+	// buf, when non-nil, batches and coalesces store updates between
+	// observation points instead of hashing inside every store (buffer.go).
+	buf *storeBuffer
 
 	stats Stats
 }
@@ -110,6 +141,18 @@ func (u *Unit) OnStore(addr, old, new uint64, isFP bool) {
 		return
 	}
 	u.stats.HashedStores++
+	if b := u.buf; b != nil {
+		// Buffered: park the raw triple and hash at the next drain. The
+		// rounding count stays per-store (every FP store in a rounding
+		// window went "through" the round-off unit, whether or not its
+		// entry coalesces); the rounding itself happens at drain, under
+		// the same mode, since mode flips drain first.
+		if isFP && u.rounding {
+			u.stats.RoundedStores++
+		}
+		u.bufferStore(b, addr, old, new, isFP)
+		return
+	}
 	if isFP && u.rounding {
 		u.stats.RoundedStores++
 		old = u.policy.RoundBits(old)
@@ -117,6 +160,30 @@ func (u *Unit) OnStore(addr, old, new uint64, isFP bool) {
 	}
 	u.accumulate(u.hasher.HashWord(addr, old).Negate())
 	u.accumulate(ihash.Digest(u.hasher.HashWord(addr, new)))
+}
+
+// OnFree erases one freed word from TH — the ⊖h(a,v)⊕h(a,0) deletion pair
+// of §2.2/§7.2, equivalent to minus_hash(addr, old) followed by
+// plus_hash(addr, 0). With a store buffer attached the pair is routed
+// through the batch path, where it coalesces with the word's pending entry:
+// a word whose whole store history sits in the window drains as old==new
+// and is elided, its h(a,0) terms cancelling without ever being hashed.
+// Like the explicit minus_hash/plus_hash instructions (and unlike OnStore)
+// the erase executes regardless of the hashing flag.
+func (u *Unit) OnFree(addr, old uint64, isFP bool) {
+	u.stats.MinusOps++
+	u.stats.PlusOps++
+	if b := u.buf; b != nil {
+		u.bufferStore(b, addr, old, 0, isFP)
+		return
+	}
+	zero := uint64(0)
+	if isFP && u.rounding {
+		old = u.policy.RoundBits(old)
+		zero = u.policy.RoundBits(zero)
+	}
+	u.accumulate(u.hasher.HashWord(addr, old).Negate())
+	u.accumulate(ihash.Digest(u.hasher.HashWord(addr, zero)))
 }
 
 // MinusHash implements the minus_hash instruction: subtract the hash of the
@@ -146,16 +213,29 @@ func (u *Unit) StartHashing() { u.hashing = true }
 
 // StopHashing implements stop_hashing; stores seen while stopped do not
 // affect TH (used to run analysis code in the checked address space, §3.3).
-func (u *Unit) StopHashing() { u.hashing = false }
+// Pending buffered updates were observed while hashing was on, so they
+// drain first.
+func (u *Unit) StopHashing() {
+	u.drain()
+	u.hashing = false
+}
 
 // Hashing reports whether the unit is currently hashing stores.
 func (u *Unit) Hashing() bool { return u.hashing }
 
-// StartFPRounding implements start_FP_rounding.
-func (u *Unit) StartFPRounding() { u.rounding = true }
+// StartFPRounding implements start_FP_rounding. A rounding-mode flip is a
+// drain point: buffered entries hold raw bit patterns and must be hashed
+// under the mode their stores executed in.
+func (u *Unit) StartFPRounding() {
+	u.drain()
+	u.rounding = true
+}
 
-// StopFPRounding implements stop_FP_rounding.
-func (u *Unit) StopFPRounding() { u.rounding = false }
+// StopFPRounding implements stop_FP_rounding (drains like StartFPRounding).
+func (u *Unit) StopFPRounding() {
+	u.drain()
+	u.rounding = false
+}
 
 // Rounding reports whether FP values are being rounded before hashing.
 func (u *Unit) Rounding() bool { return u.rounding }
@@ -173,8 +253,11 @@ func (u *Unit) SaveHash() ihash.Digest {
 
 // RestoreHash implements restore_hash: it loads TH from a previously saved
 // value. Cluster partial sums are cleared — they were folded into the saved
-// value by SaveHash.
+// value by SaveHash. Pending buffered updates happened before the restore
+// in program order and would otherwise leak into the restored value later,
+// so they drain into the old TH first.
 func (u *Unit) RestoreHash(d ihash.Digest) {
+	u.drain()
 	u.stats.Restores++
 	u.th = d
 	for i := range u.clusters {
@@ -183,8 +266,12 @@ func (u *Unit) RestoreHash(d ihash.Digest) {
 }
 
 // TH returns the current Thread Hash, merging any cluster partial sums into
-// the register (the deferred merge of Figure 3b).
+// the register (the deferred merge of Figure 3b). Reading TH is the
+// observation the store buffer exists to defer work until: any pending
+// buffered updates drain first, so every TH read — checkpoints, save_hash,
+// CombineTH — sees the fully applied hash.
 func (u *Unit) TH() ihash.Digest {
+	u.drain()
 	th := u.th
 	for _, c := range u.clusters {
 		th = th.Combine(c)

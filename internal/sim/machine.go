@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 
@@ -95,6 +96,12 @@ func NewMachine(cfg Config) *Machine {
 		}
 		m.initUnit = m.newUnit()
 	}
+	if words := cfg.storeBufferWords(); words > 0 {
+		for _, u := range m.units {
+			u.SetStoreBuffer(words)
+		}
+		m.initUnit.SetStoreBuffer(words)
+	}
 	if cfg.AddrLog != nil {
 		log := cfg.AddrLog
 		m.Mem.AddrHook = func(site string, seq, words int) (uint64, bool) {
@@ -102,6 +109,23 @@ func NewMachine(cfg Config) *Machine {
 		}
 	}
 	return m
+}
+
+// storeBufferWords resolves the effective store-buffer capacity for this
+// run: 0 means inline hashing. SWIncNonAtomic always hashes inline — the
+// naive instrumentation it models performs the hash pair inside every store,
+// and its deliberate §4.1 stale-read window must stay exactly as seeded.
+func (cfg Config) storeBufferWords() int {
+	if !cfg.Scheme.Incremental() || cfg.Scheme == SWIncNonAtomic {
+		return 0
+	}
+	if cfg.StoreBufferWords < 0 || os.Getenv("ICHECK_STORE_BUFFER") == "off" {
+		return 0
+	}
+	if cfg.StoreBufferWords == 0 {
+		return StoreBufferAutoWords
+	}
+	return cfg.StoreBufferWords
 }
 
 func (m *Machine) newUnit() *mhm.Unit {
@@ -165,6 +189,12 @@ func (m *Machine) Run(p Program) (*Result, error) {
 	m.running = true
 	err := m.sch.Run(func(tid int) {
 		p.Worker(threads[tid])
+		// Thread exit is a drain point: the worker's TH will next be read
+		// at the end-of-run capture, and its buffered updates belong to
+		// work this thread finished.
+		if u := threads[tid].unit; u != nil {
+			u.FlushStoreBuffer()
+		}
 	})
 	m.running = false
 	if err != nil {
@@ -199,6 +229,13 @@ func (m *Machine) Run(p Program) (*Result, error) {
 			res.MHMStats.Add(u.Stats())
 		}
 		res.MHMStats.Add(m.initUnit.Stats())
+		// Mirror the store-buffer effectiveness numbers into the run
+		// counters (off the hot path, once per run) so they flow to the
+		// farm's metrics layer alongside the other observability counters.
+		res.Counters.StoreBufferFlushes = res.MHMStats.BufferFlushes
+		res.Counters.StoreBufferDrainedWords = res.MHMStats.DrainedWords
+		res.Counters.StoreBufferCoalesced = res.MHMStats.CoalescedStores
+		res.Counters.StoreBufferEvictions = res.MHMStats.ConflictEvictions
 	}
 	return res, nil
 }

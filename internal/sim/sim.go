@@ -153,6 +153,18 @@ type Config struct {
 	// states). The sharded sweep is bit-identical to the sequential one
 	// because ⊕ is commutative and associative.
 	TraverseShards int
+	// StoreBufferWords sizes the per-thread MHM store buffer: how many
+	// coalesced (addr, old, new) entries a unit parks between observation
+	// points before a forced drain through the scattered-batch hash kernel.
+	// The zero value selects the auto default (StoreBufferAutoWords); any
+	// negative value disables the buffer, restoring inline per-store
+	// hashing (the pre-buffer behavior; A/B benchmarks and differential
+	// tests use it). The buffer applies to the HWInc and SWInc schemes;
+	// SWIncNonAtomic always hashes inline, preserving its deliberate §4.1
+	// stale-read window unchanged. Setting ICHECK_STORE_BUFFER=off in the
+	// environment pins the buffer off process-wide (the interleaved-A/B
+	// hook, mirroring ICHECK_TRAVERSE_DELTA).
+	StoreBufferWords int
 	// TraverseDelta selects the traversal scheme's checkpoint strategy.
 	// The zero value (TraverseDeltaAuto) full-sweeps the first checkpoint
 	// to seed a per-page hash-contribution cache, then rehashes only the
@@ -162,6 +174,13 @@ type Config struct {
 	// abelian group under ⊕/⊖.
 	TraverseDelta TraverseDeltaMode
 }
+
+// StoreBufferAutoWords is the store-buffer capacity the zero value of
+// Config.StoreBufferWords selects. 256 entries keep the slot table (512
+// slots at ≤50% load) inside the L1 data cache alongside the memory
+// engine's working set, while leaving drains rare enough that the
+// devirtualized batch kernel amortizes its loop setup.
+const StoreBufferAutoWords = 256
 
 // TraverseDeltaMode selects how the traversal scheme computes checkpoint
 // hashes after the first sweep.
@@ -287,6 +306,18 @@ type Counters struct {
 	// the fraction of live state a delta checkpoint actually touched.
 	TraverseDirtyPages uint64
 	TraverseLivePages  uint64
+	// StoreBufferFlushes, StoreBufferDrainedWords, StoreBufferCoalesced
+	// and StoreBufferEvictions mirror the run's aggregated store-buffer
+	// mhm.Stats, copied once at run end: buffer drains executed, coalesced
+	// entries hashed at drains, stores that merged into an already-pending
+	// entry instead of adding hash terms on the hot path, and pending
+	// entries emitted early on a broken coalescing chain. DrainedWords +
+	// Evictions is the number of hash pairs the buffered scheme actually
+	// computed (the quantity the Figure 6 buffered-SW-Inc model charges).
+	StoreBufferFlushes      uint64
+	StoreBufferDrainedWords uint64
+	StoreBufferCoalesced    uint64
+	StoreBufferEvictions    uint64
 }
 
 // OutputStream is one file descriptor's hashed output (§4.3).

@@ -208,36 +208,64 @@ func TestFigure1ExternallyDeterministic(t *testing.T) {
 
 // allocFreeProg allocates, writes, and frees everything: its net hash
 // contribution must vanish.
-type allocFreeProg struct{ nt int }
+type allocFreeProg struct {
+	nt  int
+	bar *sched.Barrier
+}
 
-func (p *allocFreeProg) Name() string    { return "allocfree" }
-func (p *allocFreeProg) Threads() int    { return p.nt }
-func (p *allocFreeProg) Setup(t *Thread) {}
+func (p *allocFreeProg) Name() string { return "allocfree" }
+func (p *allocFreeProg) Threads() int { return p.nt }
+func (p *allocFreeProg) Setup(t *Thread) {
+	p.bar = t.Machine().NewBarrier("af.live")
+}
 func (p *allocFreeProg) Worker(t *Thread) {
 	b := t.Malloc("af.block", 6, mem.KindWord)
 	for i := 0; i < 6; i++ {
 		t.Store(b+uint64(i)*8, uint64(t.TID()+1)*1000+uint64(i))
 	}
+	// Checkpoint with every block still live: the "before" state the free
+	// erasure must fully undo.
+	t.BarrierWait(p.bar)
 	t.Free(b)
 }
 
 // TestFreeErasesState checks freed memory leaves the hashed state entirely
-// (§7.2: freed buffers are "no longer part of the program state"): after
-// alloc+write+free the State Hash is exactly Zero.
+// (§7.2: freed buffers are "no longer part of the program state"): before
+// the frees the checkpointed State Hash is nonzero, after them it is
+// exactly Zero — whether the erase pairs were hashed inline or routed
+// through the store buffer's batch path.
 func TestFreeErasesState(t *testing.T) {
-	m := NewMachine(Config{Threads: 2, ScheduleSeed: 9, Scheme: HWInc})
-	res, err := m.Run(&allocFreeProg{nt: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sh := res.FinalSH(); sh != ihash.Zero {
-		t.Errorf("SH = %s, want zero after everything was freed", sh)
-	}
-	if res.FinalLiveWords != 0 {
-		t.Errorf("live words = %d", res.FinalLiveWords)
-	}
-	if res.Counters.FreeEraseWords != 12 {
-		t.Errorf("FreeEraseWords = %d", res.Counters.FreeEraseWords)
+	for _, tc := range []struct {
+		name  string
+		words int
+	}{
+		{"buffered", 0}, // 0 = auto: the batch drain path
+		{"inline", -1},  // negative disables the buffer
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMachine(Config{Threads: 2, ScheduleSeed: 9, Scheme: HWInc, StoreBufferWords: tc.words})
+			res, err := m.Run(&allocFreeProg{nt: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := res.Checkpoints[0]
+			if live.Label != "af.live" || live.SH == ihash.Zero || live.LiveWords != 12 {
+				t.Errorf("pre-free checkpoint = %q SH %s live %d, want af.live/nonzero/12",
+					live.Label, live.SH, live.LiveWords)
+			}
+			if sh := res.FinalSH(); sh != ihash.Zero {
+				t.Errorf("SH = %s, want zero after everything was freed", sh)
+			}
+			if res.FinalLiveWords != 0 {
+				t.Errorf("live words = %d", res.FinalLiveWords)
+			}
+			if res.Counters.FreeEraseWords != 12 {
+				t.Errorf("FreeEraseWords = %d", res.Counters.FreeEraseWords)
+			}
+			if buffered := tc.words == 0; (res.MHMStats.BufferFlushes > 0) != buffered {
+				t.Errorf("BufferFlushes = %d with buffering %v", res.MHMStats.BufferFlushes, buffered)
+			}
+		})
 	}
 }
 

@@ -225,9 +225,13 @@ func (t *Thread) Free(base uint64) {
 	for i := 0; i < blk.Words; i++ {
 		addr := base + uint64(i)*mem.WordSize
 		old := t.mm.Store(addr, 0)
+		// A still-zero word needs no erase: ⊖h(a,0)⊕h(a,0) cancels. Nonzero
+		// words route through OnFree — the minus_hash/plus_hash pair, sent
+		// down the store-buffer batch path when one is attached, where a
+		// word freed in the window it was written in coalesces to old==new
+		// and is elided without hashing h(a,0) at all.
 		if t.unit != nil && old != 0 {
-			t.unit.MinusHash(addr, old, isFP)
-			t.unit.PlusHash(addr, 0, isFP)
+			t.unit.OnFree(addr, old, isFP)
 		}
 	}
 	t.ctr.FreeEraseWords += uint64(blk.Words)
