@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race race-farm bench bench-json bench-fleet-json bench-smoke obs-smoke fleet-smoke build table1 table2 figures everything cover fmt vet lint
+.PHONY: all test race race-farm bench bench-json bench-fleet-json bench-smoke obs-smoke fleet-smoke explore-smoke exploreeff build table1 table2 figures everything cover fmt vet lint
 
 all: test lint
 
@@ -45,6 +45,19 @@ obs-smoke:
 # (see cmd/fleetsmoke).
 fleet-smoke:
 	$(GO) run ./cmd/fleetsmoke
+
+# Exploration smoke gate: boot a real checkd, submit one explore job per
+# strategy hunting a seeded Figure 7 bug, require every search to find its
+# divergence within budget, and lint the daemon's per-strategy /metrics
+# series (see cmd/exploresmoke).
+explore-smoke:
+	$(GO) run ./cmd/exploresmoke
+
+# The exploration-efficiency experiment: median runs-to-detect per
+# strategy on the three seeded Figure 7 bugs at equal budget (the table in
+# EXPERIMENTS.md, "Exploration efficiency").
+exploreeff:
+	$(GO) run ./cmd/instantcheck exploreeff -small -runs 40 -threads 4 -input 1
 
 # The tier-1 perf suite, recorded into the repo's benchmark trajectory as an
 # interleaved A/B over the per-thread store buffer: each round runs the

@@ -4,6 +4,15 @@
 // log so that a killed daemon resumes half-finished campaigns exactly
 // where they stopped.
 //
+// Two job kinds share the queue (JobSpec.Kind): plain "check" campaigns
+// compare every run's hash vector for a determinism verdict, and
+// "explore" jobs drive a schedule-exploration strategy (uniform, pct,
+// race-directed or coverage — see internal/explore) that hunts for a
+// State-Hash divergence and stops at the first one found. Explore jobs
+// always execute in-process on the daemon, even under -fleet: the search
+// is sequential, each run's schedule depending on the previous results,
+// so there is nothing to fan out.
+//
 // Usage:
 //
 //	checkd -addr :8347 -store farm.log [-run-workers N] [-job-workers N]

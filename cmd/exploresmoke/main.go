@@ -1,0 +1,192 @@
+// Command exploresmoke is the exploration smoke gate: it launches a real
+// checkd process, submits one explore job per strategy — each hunting a
+// seeded Figure 7 bug in a regime where that strategy is known to find it
+// — and requires every search to report a divergence within its budget.
+// It then scrapes /metrics from the live daemon, failing on malformed
+// Prometheus exposition or on missing per-strategy explore series. CI runs
+// it next to the fleet smoke step (`make explore-smoke`).
+//
+// Usage:
+//
+//	exploresmoke [-checkd path/to/checkd] [-keep]
+//
+// Without -checkd the daemon binary is built into a temp directory with
+// the local go toolchain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"instantcheck/internal/farm"
+	"instantcheck/internal/obs"
+)
+
+// smokeJobs pairs every strategy with a seeded bug it must find. The
+// uniform and coverage searches run at the scheduler's default preemption
+// cadence, where any schedule perturbation surfaces the atomicity bug in a
+// few runs; pct and race-directed run in the rare-preemption stress regime
+// their schedule shaping is for (the regimes measured by `instantcheck
+// exploreeff`).
+var smokeJobs = []farm.JobSpec{
+	{App: "waterSP", Kind: "explore", Strategy: "uniform", Bug: "atomicity",
+		Runs: 10, Threads: 4, InputSeed: 1, RoundFP: true, Small: true},
+	{App: "waterSP", Kind: "explore", Strategy: "coverage", Bug: "atomicity",
+		Runs: 10, Threads: 4, InputSeed: 1, RoundFP: true, Small: true},
+	{App: "waterSP", Kind: "explore", Strategy: "race-directed", Bug: "atomicity",
+		Runs: 40, Threads: 4, InputSeed: 1, RoundFP: true, Small: true, SwitchInterval: 4000},
+	{App: "radix", Kind: "explore", Strategy: "pct", Bug: "order",
+		Runs: 40, Threads: 4, InputSeed: 1, Small: true, SwitchInterval: 20000},
+}
+
+func main() {
+	checkdPath := flag.String("checkd", "", "checkd binary (empty: go build ./cmd/checkd into a temp dir)")
+	keep := flag.Bool("keep", false, "keep the temp store/binary directory for inspection")
+	flag.Parse()
+	log.SetPrefix("exploresmoke: ")
+	log.SetFlags(0)
+	if err := run(*checkdPath, *keep); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("PASS")
+}
+
+func run(checkdPath string, keep bool) error {
+	dir, err := os.MkdirTemp("", "exploresmoke")
+	if err != nil {
+		return err
+	}
+	if keep {
+		log.Printf("workdir %s", dir)
+	} else {
+		defer os.RemoveAll(dir)
+	}
+
+	if checkdPath == "" {
+		checkdPath = filepath.Join(dir, "checkd")
+		build := exec.Command("go", "build", "-o", checkdPath, "./cmd/checkd")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("build checkd: %w", err)
+		}
+	}
+
+	// A free port for the daemon: bind :0, remember, release.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	daemon := exec.Command(checkdPath,
+		"-addr", addr,
+		"-store", filepath.Join(dir, "farm.log"))
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("start checkd: %w", err)
+	}
+	defer func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		daemon.Wait()
+	}()
+
+	c := farm.NewClient("http://" + addr)
+	if err := waitHealthy(c, 15*time.Second); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	for _, spec := range smokeJobs {
+		job, err := c.Submit(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", spec.Strategy, err)
+		}
+		done, err := c.Wait(ctx, job.ID, 100*time.Millisecond)
+		if err != nil {
+			return fmt.Errorf("wait %s: %w", spec.Strategy, err)
+		}
+		if done.State != farm.JobDone {
+			return fmt.Errorf("%s job finished as %s: %s", spec.Strategy, done.State, done.Error)
+		}
+		rep, err := c.Report(ctx, job.ID)
+		if err != nil {
+			return fmt.Errorf("report %s: %w", spec.Strategy, err)
+		}
+		out := rep.Explore
+		if out == nil || out.Strategy != spec.Strategy {
+			return fmt.Errorf("%s job report carries outcome %+v", spec.Strategy, out)
+		}
+		if !out.Found {
+			return fmt.Errorf("explore[%s] missed the seeded %s bug in %s within its %d-run budget",
+				spec.Strategy, spec.Bug, spec.App, out.Budget)
+		}
+		log.Printf("explore[%s]: %s %s bug found at run %d of budget %d",
+			spec.Strategy, spec.App, spec.Bug, out.DivergedRun, out.Budget)
+	}
+
+	// The live scrape lints clean and carries every strategy's explore
+	// series, with at least one divergence counted per strategy.
+	samples, err := scrapeAndLint(c)
+	if err != nil {
+		return fmt.Errorf("post-search scrape: %w", err)
+	}
+	runsBy := map[string]float64{}
+	divBy := map[string]float64{}
+	for _, s := range samples {
+		switch s.Name {
+		case "checkfarm_explore_runs_total":
+			runsBy[s.Labels["strategy"]] = s.Value
+		case "checkfarm_explore_divergences_total":
+			divBy[s.Labels["strategy"]] = s.Value
+		}
+	}
+	for _, spec := range smokeJobs {
+		if runsBy[spec.Strategy] == 0 {
+			return fmt.Errorf("scrape has no checkfarm_explore_runs_total{strategy=%q}", spec.Strategy)
+		}
+		if divBy[spec.Strategy] == 0 {
+			return fmt.Errorf("scrape counts no divergence for strategy %q", spec.Strategy)
+		}
+	}
+	log.Printf("scraped %d samples from live daemon, explore series present for all %d strategies",
+		len(samples), len(smokeJobs))
+	return nil
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(c *farm.Client, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		h, err := c.Health(context.Background())
+		if err == nil && h.Status == "ok" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not healthy after %v: %v", timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// scrapeAndLint fetches /metrics and validates the exposition format.
+func scrapeAndLint(c *farm.Client) ([]obs.Sample, error) {
+	text, err := c.MetricsText(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if err := obs.Lint(strings.NewReader(text)); err != nil {
+		return nil, fmt.Errorf("malformed exposition: %w", err)
+	}
+	return obs.ParseExposition(strings.NewReader(text))
+}

@@ -53,6 +53,17 @@ type overheadJSON struct {
 	SWTrIdeal     float64 `json:"sw_tr_ideal"`
 }
 
+type exploreeffJSON struct {
+	App        string  `json:"app"`
+	Bug        string  `json:"bug"`
+	Strategy   string  `json:"strategy"`
+	Trials     int     `json:"trials"`
+	Detected   int     `json:"detected"`
+	MedianRuns int     `json:"median_runs"`
+	Censored   bool    `json:"censored"`
+	Speedup    float64 `json:"speedup"`
+}
+
 func emitJSON(v any) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -81,6 +92,18 @@ func table2ToJSON(rows []instantcheck.Table2Row) []table2JSON {
 			App: r.App, Bug: r.Bug.String(),
 			DetPoints: r.DetPoints, NDetPoints: r.NDetPoints,
 			FirstNDetRun: r.FirstNDetRun,
+		})
+	}
+	return out
+}
+
+func exploreeffToJSON(rows []instantcheck.ExploreEffRow) []exploreeffJSON {
+	out := make([]exploreeffJSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, exploreeffJSON{
+			App: r.App, Bug: r.Bug.String(), Strategy: r.Strategy,
+			Trials: r.Trials, Detected: r.Detected,
+			MedianRuns: r.MedianRuns, Censored: r.Censored, Speedup: r.Speedup,
 		})
 	}
 	return out

@@ -11,6 +11,7 @@
 //	instantcheck fig5   [flags]           # Figure 5: nondeterminism distributions
 //	instantcheck fig6   [flags]           # Figure 6: instruction-count overheads
 //	instantcheck fig8   [flags]           # Figure 8: seeded-bug distributions
+//	instantcheck exploreeff [flags]       # exploration-strategy efficiency
 //	instantcheck all    [flags]           # everything above
 //	instantcheck remote [-server URL] ... # drive a checkd daemon (see remote.go)
 //
@@ -83,6 +84,8 @@ func main() {
 		err = fig6(cfg, *asJSON)
 	case "fig8":
 		err = fig8(cfg, *asJSON)
+	case "exploreeff":
+		err = exploreeff(cfg, *asJSON)
 	case "all":
 		for _, f := range []func(instantcheck.ExperimentConfig, bool) error{table1, table2, fig5, fig6, fig8} {
 			if err = f(cfg, *asJSON); err != nil {
@@ -101,7 +104,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: instantcheck <list|check <app>|races <app>|table1|table2|fig5|fig6|fig8|all> [-runs N] [-threads N] [-small] [-seed S] [-input S]
+	fmt.Fprintln(os.Stderr, `usage: instantcheck <list|check <app>|races <app>|table1|table2|fig5|fig6|fig8|exploreeff|all> [-runs N] [-threads N] [-small] [-seed S] [-input S]
        instantcheck remote [-server URL] <submit|status|report|jobs|hashlog|compare|cancel|stats> [args]`)
 }
 
@@ -198,6 +201,24 @@ func table2(cfg instantcheck.ExperimentConfig, asJSON bool) error {
 	}
 	fmt.Println("Table 2: seeded-bug detection")
 	fmt.Print(instantcheck.FormatTable2(rows))
+	return nil
+}
+
+// exploreeff runs the exploration-efficiency experiment: median
+// runs-to-detect for each schedule-exploration strategy on the three
+// seeded Figure 7 bugs, at equal budget (-runs is the per-trial budget).
+func exploreeff(cfg instantcheck.ExperimentConfig, asJSON bool) error {
+	start := time.Now()
+	rows, err := instantcheck.ExploreEfficiency(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return emitJSON(exploreeffToJSON(rows))
+	}
+	fmt.Println("Exploration efficiency: median runs to first State-Hash divergence")
+	fmt.Print(instantcheck.FormatExploreEfficiency(rows))
+	fmt.Printf("(%.1fs)\n", time.Since(start).Seconds())
 	return nil
 }
 

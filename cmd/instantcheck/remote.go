@@ -34,7 +34,13 @@ func remote(args []string) error {
 verbs:
   submit <app> [-runs N] [-threads N] [-parallelism N] [-seed S] [-input S]
                [-scheme hwinc|swinc|swinc-nonatomic|swtr] [-hasher mix64|crc64]
-               [-round-fp] [-isolate] [-small] [-wait]
+               [-round-fp] [-isolate] [-small] [-bug semantic|atomicity|order]
+               [-interval N] [-explore]
+               [-strategy uniform|pct|race-directed|coverage]
+               [-pct-depth N] [-wait]
+          -explore submits a schedule-exploration job: the strategy hunts
+          for a State-Hash divergence and stops at the first one (-runs is
+          the search budget); -bug seeds the workload's Figure 7 bug
   status  <job>             one job's state and progress
   report  <job>             finished campaign's determinism report
   jobs                      list all jobs on the daemon
@@ -187,6 +193,11 @@ func remoteSubmit(ctx context.Context, c *farm.Client, args []string) error {
 	roundFP := fs.Bool("round-fp", false, "round FP values before hashing")
 	isolate := fs.Bool("isolate", false, "apply the workload's small-structure ignore set")
 	small := fs.Bool("small", false, "reduced inputs (fast)")
+	interval := fs.Int("interval", 0, "mean operations between forced preemptions (0: scheduler default)")
+	explore := fs.Bool("explore", false, "submit an exploration job (hunt for a divergence) instead of a check campaign")
+	strategy := fs.String("strategy", "", "exploration strategy: uniform (default), pct, race-directed or coverage")
+	pctDepth := fs.Int("pct-depth", 0, "priority-change points for the pct strategy (0: default)")
+	bug := fs.String("bug", "", "seed the workload's Figure 7 bug: semantic, atomicity or order")
 	wait := fs.Bool("wait", false, "block until the job finishes and print its report")
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
 		return fmt.Errorf("usage: instantcheck remote submit <app> [flags]")
@@ -195,18 +206,29 @@ func remoteSubmit(ctx context.Context, c *farm.Client, args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	kind := ""
+	if *explore {
+		kind = "explore"
+	} else if *strategy != "" || *pctDepth != 0 {
+		return fmt.Errorf("remote submit: -strategy and -pct-depth require -explore")
+	}
 	job, err := c.Submit(ctx, farm.JobSpec{
-		App:         app,
-		Runs:        *runs,
-		Threads:     *threads,
-		Parallelism: *par,
-		Seed:        *seed,
-		InputSeed:   *input,
-		Scheme:      *scheme,
-		Hasher:      *hasher,
-		RoundFP:     *roundFP,
-		Isolate:     *isolate,
-		Small:       *small,
+		App:            app,
+		Runs:           *runs,
+		Threads:        *threads,
+		Parallelism:    *par,
+		Seed:           *seed,
+		InputSeed:      *input,
+		Scheme:         *scheme,
+		Hasher:         *hasher,
+		RoundFP:        *roundFP,
+		Isolate:        *isolate,
+		Small:          *small,
+		SwitchInterval: *interval,
+		Kind:           kind,
+		Strategy:       *strategy,
+		PCTDepth:       *pctDepth,
+		Bug:            *bug,
 	})
 	if err != nil {
 		return err
@@ -244,6 +266,19 @@ func printJob(job *farm.Job) {
 }
 
 func printReport(rep *farm.Report) {
+	if out := rep.Explore; out != nil {
+		verdict := fmt.Sprintf("no divergence in %d runs (budget %d)", out.Runs, out.Budget)
+		if out.Found {
+			verdict = fmt.Sprintf("DIVERGENCE at run %d of %d (budget %d)", out.DivergedRun, out.Runs, out.Budget)
+		}
+		fmt.Printf("%s: explore[%s]: %s\n", rep.Program, out.Strategy, verdict)
+		fmt.Printf("  %d distinct (checkpoint, hash) outcomes, %d distinct final hashes\n",
+			out.DistinctOutcomes, out.DistinctFinals)
+		if out.Hits > 0 {
+			fmt.Printf("  %d directed preemptions at hinted racy sites\n", out.Hits)
+		}
+		return
+	}
 	verdict := "DETERMINISTIC"
 	if !rep.Deterministic {
 		verdict = "NONDETERMINISTIC"

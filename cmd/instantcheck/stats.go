@@ -50,6 +50,9 @@ func remoteStats(ctx context.Context, c *farm.Client, args []string, w io.Writer
 	if line := fleetLine(samples); line != "" {
 		fmt.Fprintln(w, line)
 	}
+	for _, line := range exploreLines(samples) {
+		fmt.Fprintln(w, line)
+	}
 	fmt.Fprintln(w)
 	printSamples(w, samples)
 	return nil
@@ -128,6 +131,53 @@ func fleetLine(samples []obs.Sample) string {
 	return fmt.Sprintf("fleet: %s worker(s) live, shards %s leased / %s completed / %s expired, %s run(s) re-queued",
 		formatMetric(workers), formatMetric(leased), formatMetric(completed),
 		formatMetric(expired), formatMetric(requeued))
+}
+
+// exploreLines summarizes exploration traffic per strategy: schedules
+// executed, campaigns that found a divergence, coverage and directed
+// preemptions. Empty before any explore job has run.
+func exploreLines(samples []obs.Sample) []string {
+	type agg struct{ runs, div, distinct, hits float64 }
+	byStrategy := map[string]*agg{}
+	get := func(s obs.Sample) *agg {
+		name := s.Labels["strategy"]
+		a := byStrategy[name]
+		if a == nil {
+			a = &agg{}
+			byStrategy[name] = a
+		}
+		return a
+	}
+	for _, s := range samples {
+		switch s.Name {
+		case "checkfarm_explore_runs_total":
+			get(s).runs = s.Value
+		case "checkfarm_explore_divergences_total":
+			get(s).div = s.Value
+		case "checkfarm_explore_distinct_outcomes_total":
+			get(s).distinct = s.Value
+		case "checkfarm_explore_hint_preemptions_total":
+			get(s).hits = s.Value
+		}
+	}
+	names := make([]string, 0, len(byStrategy))
+	for name, a := range byStrategy {
+		if a.runs > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		a := byStrategy[name]
+		line := fmt.Sprintf("explore[%s]: %s run(s), %s divergence(s) found, %s distinct outcomes",
+			name, formatMetric(a.runs), formatMetric(a.div), formatMetric(a.distinct))
+		if a.hits > 0 {
+			line += fmt.Sprintf(", %s directed preemptions", formatMetric(a.hits))
+		}
+		out = append(out, line)
+	}
+	return out
 }
 
 // formatSeconds renders an uptime without sub-second noise.

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"instantcheck/internal/apps"
+	"instantcheck/internal/explore"
 )
 
 // Workload is a registry entry for one of the paper's 17 evaluation
@@ -432,4 +433,137 @@ func Check(c Campaign, build Builder) (*Report, error) { return c.Check(build) }
 // Characterize classifies a program into the Table 1 taxonomy.
 func Characterize(c Campaign, build Builder, ignore *IgnoreSet) (*Characterization, error) {
 	return c.Characterize(build, ignore)
+}
+
+// ---- Exploration efficiency ----
+
+// ExploreEffRow is one (seeded bug, strategy) cell of the exploration-
+// efficiency experiment: how many runs the strategy needs, at the median
+// over independent trials, to surface the bug's State-Hash divergence.
+type ExploreEffRow struct {
+	// App and Bug identify the seeded Figure 7 bug.
+	App string
+	Bug BugKind
+	// Strategy is the schedule-generation strategy measured.
+	Strategy string
+	// Trials is the number of independent campaigns (distinct base seeds).
+	Trials int
+	// Detected counts trials that found the divergence within the budget.
+	Detected int
+	// MedianRuns is the median runs-to-detect; trials that miss count as
+	// budget+1, so a censored median reads as "more than the budget".
+	MedianRuns int
+	// Censored is true when the median trial missed — MedianRuns is then a
+	// lower bound, not a measurement.
+	Censored bool
+	// Speedup is the uniform baseline's median divided by this row's
+	// (1 for the baseline itself; a lower bound when uniform is censored).
+	Speedup float64
+}
+
+// exploreEffIntervals sets the preemption interval per host app: rare
+// forced switches model realistic stress testing, where the seeded bugs'
+// racy windows are almost never hit by chance. This is the regime directed
+// strategies are for; at tiny intervals every strategy (including uniform)
+// finds the bugs in a run or two and there is nothing to measure. radix
+// gets a longer interval because its racy window (thread 0's whole rank
+// phase) is wider than the few-operation windows in the water codes.
+var exploreEffIntervals = map[string]int{
+	"waterNS": 4000,
+	"waterSP": 4000,
+	"radix":   20000,
+}
+
+// ExploreEfficiency measures runs-to-detect for every exploration
+// strategy on the three seeded Table 2 bugs at equal budget. cfg.Runs is
+// the per-trial budget (default 40); trials use base seeds derived from
+// cfg.BaseSeed so the comparison pairs strategies on identical seed sets.
+func ExploreEfficiency(cfg ExperimentConfig) ([]ExploreEffRow, error) {
+	budget := orDefaultInt(cfg.Runs, 40)
+	const trials = 5
+	var rows []ExploreEffRow
+	for _, h := range table2Hosts {
+		app := apps.ByName(h.app)
+		uniformMedian := 0
+		for _, name := range explore.StrategyNames() {
+			row := ExploreEffRow{App: h.app, Bug: h.bug, Strategy: name, Trials: trials}
+			var needed []int
+			for trial := 0; trial < trials; trial++ {
+				opts := explore.Options{
+					Threads:        orDefaultInt(cfg.Threads, 4),
+					RoundFP:        app.UsesFP,
+					InputSeed:      cfg.InputSeed,
+					SwitchInterval: exploreEffIntervals[h.app],
+					ScheduleSeed:   cfg.BaseSeed + int64(trial)*1000,
+				}
+				strat, err := explore.NewStrategy(name, opts, 0)
+				if err != nil {
+					return nil, err
+				}
+				build := app.Builder(WorkloadOptions{Threads: opts.Threads, Small: cfg.Small, Bug: h.bug})
+				out, err := explore.Explore(build, opts, strat, budget, nil)
+				if err != nil {
+					return nil, fmt.Errorf("exploreeff %s/%s: %w", h.app, name, err)
+				}
+				if out.Found {
+					row.Detected++
+					needed = append(needed, out.DivergedRun)
+				} else {
+					needed = append(needed, budget+1)
+				}
+			}
+			sort.Ints(needed)
+			row.MedianRuns = needed[trials/2]
+			row.Censored = row.MedianRuns > budget
+			if name == "uniform" {
+				uniformMedian = row.MedianRuns
+			}
+			if uniformMedian > 0 {
+				row.Speedup = float64(uniformMedian) / float64(row.MedianRuns)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatExploreEfficiency renders the exploration-efficiency rows as an
+// aligned text table. Censored medians (no detection at the median trial)
+// print as ">budget", and speedups against a censored uniform baseline as
+// lower bounds.
+func FormatExploreEfficiency(rows []ExploreEffRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-20s %-14s %9s %11s %9s\n",
+		"Application", "Bug Type", "Strategy", "Detected", "MedianRuns", "Speedup")
+	uniformCensored := map[string]bool{}
+	for _, r := range rows {
+		if r.Strategy == "uniform" {
+			uniformCensored[r.App] = r.Censored
+		}
+	}
+	for _, r := range rows {
+		med := fmt.Sprint(r.MedianRuns)
+		if r.Censored {
+			med = fmt.Sprintf(">%d", r.MedianRuns-1)
+		}
+		speed := fmt.Sprintf("%.1fx", r.Speedup)
+		switch {
+		case r.Strategy == "uniform":
+			speed = "1.0x"
+		case r.Censored:
+			speed = "-" // did not detect; no speedup to claim
+		case uniformCensored[r.App]:
+			speed = fmt.Sprintf(">%.1fx", r.Speedup)
+		}
+		fmt.Fprintf(&b, "%-12s %-20s %-14s %5d/%-3d %11s %9s\n",
+			r.App, r.Bug, r.Strategy, r.Detected, r.Trials, med, speed)
+	}
+	return b.String()
+}
+
+func orDefaultInt(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
 }

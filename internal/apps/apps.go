@@ -35,14 +35,19 @@ type BugKind int
 const (
 	// BugNone disables bug seeding.
 	BugNone BugKind = iota
-	// BugSemantic is Figure 7(a): waterNS's thread 3 consumes a shared
-	// reduction value before the phase that completes it.
+	// BugSemantic is Figure 7(a): waterNS's thread 3 consumes the shared
+	// energy reduction as soon as every thread has announced its
+	// contribution — but the announce flags go up a few operations before
+	// the adds they advertise, so a badly-timed preemption makes the
+	// consumed value incomplete.
 	BugSemantic
 	// BugAtomicity is Figure 7(b): waterSP's thread 3 updates the global
 	// energy with an unlocked read-modify-write.
 	BugAtomicity
-	// BugOrder is Figure 7(c): radix's thread 3 skips, exactly once, the
-	// flag-wait that orders the rank computation before the permutation.
+	// BugOrder is Figure 7(c): radix's thread 0 raises, exactly once, the
+	// rank-ready flag before the rank bases it orders are written, so a
+	// thread preempted into the rank phase scatters keys to stale
+	// positions.
 	BugOrder
 )
 

@@ -38,11 +38,16 @@ const (
 // end of the run).
 //
 // The rank phase is ordered before the permutation by a hand-coded ready
-// flag. The seeded order-violation bug of Figure 7(c) makes thread 3 skip
-// that wait exactly once (justOnce == 3, in the last pass): it then reads
-// rank bases that thread 0 may not have finished writing and scatters keys
-// to stale positions. The program never crashes — positions stay in
-// bounds — but the final array becomes schedule-dependent.
+// flag. The seeded order-violation bug of Figure 7(c) makes thread 0 raise
+// that flag exactly once too early (in the last pass, before computing the
+// rank bases instead of after): a thread released by the premature flag
+// can read rank bases that thread 0 has not finished writing and scatter
+// keys to stale positions. Thread 0 usually storms through the short rank
+// phase before anyone reads, so the bug manifests only when a preemption
+// lands inside it — rarely under stress testing, like the real order
+// violations InstantCheck targets. The program never crashes — positions
+// stay in bounds — but a manifesting run's final array is wrong in a
+// schedule-dependent way.
 type radixProg struct {
 	nt  int
 	n   int
@@ -101,6 +106,14 @@ func (p *radixProg) Worker(t *sim.Thread) {
 		// Phase 2: thread 0 computes global rank bases — the destination
 		// start for each (thread, digit) — then raises the ready flag.
 		if tid == 0 {
+			if p.bug && pass == radixPasses-1 {
+				// Order violation (Figure 7c): the flag goes up before
+				// the bases it is supposed to order are written. Any
+				// thread scheduled inside the rank phase below reads
+				// whatever bases are in memory at that instant.
+				//icvet:ignore race deliberately seeded bug: ready raised before the rank bases are produced
+				t.Store(idx(p.rankReady, pass), 1)
+			}
 			base := uint64(0)
 			for d := 0; d < radixBuckets; d++ {
 				for th := 0; th < p.nt; th++ {
@@ -108,14 +121,11 @@ func (p *radixProg) Worker(t *sim.Thread) {
 					base += t.Load(idx(p.hist, th*radixBuckets+d))
 				}
 			}
-			t.Store(idx(p.rankReady, pass), 1)
+			if !(p.bug && pass == radixPasses-1) {
+				t.Store(idx(p.rankReady, pass), 1)
+			}
 		}
-		// Order violation (Figure 7c): thread 3 skips the flag wait once,
-		// in the last pass, and proceeds with whatever rank bases are in
-		// memory at that instant.
-		if !(p.bug && tid == 3 && pass == radixPasses-1) {
-			spinWaitFlag(t, idx(p.rankReady, pass))
-		}
+		spinWaitFlag(t, idx(p.rankReady, pass))
 
 		// Phase 3: scatter my span using my rank bases.
 		var next [radixBuckets]uint64

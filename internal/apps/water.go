@@ -47,16 +47,21 @@ func init() {
 //
 // The two Figure 7 bugs live here:
 //
-//   - waterNS, semantic (Figure 7a): in the energy phase, thread 3 reads
-//     the global potential accumulator after adding its own partial but
-//     before the reduction is complete, and stores the premature value
-//     into its diagnostic slot — using a reduction before the phase that
-//     finishes it. The value depends on how many threads have added.
+//   - waterNS, semantic (Figure 7a): in the energy phase, every thread
+//     announces its contribution on a per-thread done flag *before* the
+//     locked add that actually publishes it, and thread 3 derives its
+//     diagnostic from the global accumulator as soon as all flags are up
+//     — consuming the reduction before the phase that finishes it. The
+//     announce/add order is wrong by a handful of operations, so the
+//     premature read goes unnoticed unless a thread is preempted between
+//     its announce and its add while thread 3 reads; like the real bugs
+//     InstantCheck targets, it manifests rarely under stress testing.
 //   - waterSP, atomicity violation (Figure 7b): thread 3 updates the
 //     global potential with an unlocked read-modify-write; a preemption
 //     between the read and the write loses concurrent updates.
 //
-// Both bugs are seeded only for thread 3 and never crash the program.
+// Both bugs read or write wrongly only on thread 3 and never crash the
+// program.
 type waterProg struct {
 	name    string
 	nt      int
@@ -72,6 +77,7 @@ type waterProg struct {
 	pot             uint64 // global potential accumulator
 	hist            uint64 // waterSP: per-step potential history
 	diag            uint64 // per-thread diagnostic slots
+	done            uint64 // bugSemantic: per-thread announce flags
 
 	molLocks []*sched.Mutex
 	potLock  *sched.Mutex
@@ -103,6 +109,9 @@ func (p *waterProg) Setup(t *sim.Thread) {
 	if p.spatial {
 		p.cellOf = t.AllocStatic("static:w.cell", p.n, mem.KindWord)
 		p.hist = t.AllocStatic("static:w.hist", p.steps, mem.KindFloat)
+	}
+	if p.bugSemantic {
+		p.done = t.AllocStatic("static:w.done", p.nt, mem.KindWord)
 	}
 	rng := newXorshift(17)
 	for i := 0; i < p.n; i++ {
@@ -168,6 +177,9 @@ func (p *waterProg) Worker(t *sim.Thread) {
 			}
 		}
 		t.StoreF(idx(p.diag, tid), 0)
+		if p.bugSemantic {
+			t.Store(idx(p.done, tid), 0)
+		}
 		if tid == 0 {
 			if p.spatial && step > 0 {
 				// Record the previous step's total potential; with the
@@ -225,6 +237,13 @@ func (p *waterProg) Worker(t *sim.Thread) {
 		p.correct.await(t)
 
 		// Phase 4: energy reduction into the shared accumulator.
+		if p.bugSemantic {
+			// Figure 7(a), half one: each thread announces its
+			// contribution before the locked add that publishes it — the
+			// announce belongs after the add.
+			//icvet:ignore race deliberately seeded bug: the flag advertises an addition that has not happened yet
+			t.Store(idx(p.done, tid), 1)
+		}
 		if p.bugAtomicity && tid == 3 {
 			// Figure 7(b): unlocked read-modify-write — a preemption
 			// between the load and the store loses concurrent additions.
@@ -239,9 +258,16 @@ func (p *waterProg) Worker(t *sim.Thread) {
 			t.Unlock(p.potLock)
 		}
 		if p.bugSemantic && tid == 3 {
-			// Figure 7(a): consume the reduction before it is complete.
-			// The diagnostic should be derived from the final potential;
-			// reading it mid-phase yields a schedule-dependent value.
+			// Figure 7(a), half two: consume the reduction as soon as
+			// every thread has announced. Because the announce precedes
+			// the add, the sum can still be missing a contribution from a
+			// thread caught between the two — but only when a preemption
+			// lands in that window, so the premature value is usually the
+			// complete one and the bug manifests rarely.
+			for i := 0; i < p.nt; i++ {
+				spinWaitFlag(t, idx(p.done, i))
+			}
+			//icvet:ignore race deliberately seeded bug: unlocked read of the accumulator mid-reduction
 			premature := t.LoadF(p.pot)
 			t.StoreF(idx(p.diag, tid), premature/float64(p.n))
 		} else {

@@ -1,27 +1,3 @@
-// Package explore implements the systematic-testing application of the
-// InstantCheck primitive (paper §6.2). Systematic testing (CHESS-style)
-// enumerates thread interleavings of a program while checking properties;
-// its search space grows exponentially with the number of scheduling
-// decisions. One way to fight the explosion is to recognize *equivalent
-// states* and prune the search. Comparing entire states in software is too
-// expensive, so CHESS prunes only by happens-before equivalence — which
-// misses schedules that commute to the same state (the paper's Figure 1:
-// two lock acquisition orders, same final state, different happens-before).
-//
-// With InstantCheck's cheap state hashes, pruning can be done by *state
-// equality*: at every quiescent checkpoint (a barrier episode, where every
-// thread is at a known program point) the explorer looks up the pair
-// (checkpoint ordinal, State Hash); if it was already visited, the
-// continuation subtree is identical to one explored before, and the run is
-// aborted on the spot. This is both faster (more schedules pruned) and
-// more precise (detects equal states even when the synchronization order
-// differs) than happens-before pruning.
-//
-// The explorer is a stateless-search DFS over scheduling decisions, driven
-// through the simulator's controlled scheduler: a scripted decider replays
-// a prefix of choices and takes the first option afterwards, recording
-// every decision point it passes; the explorer then branches on the
-// recorded free decisions.
 package explore
 
 import (
@@ -57,10 +33,25 @@ type Options struct {
 	// InputSeed fixes the program's replayed input.
 	InputSeed int64
 	// SwitchInterval is the mean operation count between random forced
-	// preemptions for FindNondeterminism runs (<= 0 selects the
-	// scheduler default). Systematic ignores it: its decider controls
+	// preemptions for FindNondeterminism and strategy runs (<= 0 selects
+	// the scheduler default). Systematic ignores it: its decider controls
 	// switching through PreemptEvery.
 	SwitchInterval int
+	// ScheduleSeed is the base schedule seed: run i of a random-schedule
+	// search uses ScheduleSeed + i + 1, so repeated campaigns with
+	// different bases explore different schedule sequences. The zero
+	// value reproduces the historical sequence (seeds 1, 2, 3, ...).
+	ScheduleSeed int64
+	// Hasher overrides the location hash (nil selects the default).
+	Hasher ihash.Hasher
+	// Ignore applies an ignore set to every run's hashes (§2.2).
+	Ignore *sim.IgnoreSet
+	// SeedPrefixes pre-loads Systematic's DFS stack with scripted choice
+	// prefixes to explore before the free search — the coverage-guided
+	// re-entry point, and the knob regression tests use to feed a stale
+	// prefix. A prefix that no longer matches the program's decision tree
+	// is counted as a replay divergence, not silently explored.
+	SeedPrefixes [][]int
 }
 
 // Result summarizes an exploration.
@@ -81,6 +72,11 @@ type Result struct {
 	// Exhausted is true when the whole bounded schedule tree was covered
 	// within MaxRuns.
 	Exhausted bool
+	// ReplayDivergences counts runs whose scripted prefix no longer
+	// matched the program's decision tree (a stale or corrupt replay
+	// script). Divergent runs explore an unintended schedule, so their
+	// states are not marked visited and they are not branched on.
+	ReplayDivergences int
 }
 
 // Deterministic reports whether every completed schedule ended in the same
@@ -89,6 +85,12 @@ func (r *Result) Deterministic() bool { return len(r.FinalStates) <= 1 }
 
 // errPruned marks a run cancelled by state-hash pruning.
 var errPruned = errors.New("explore: state already visited")
+
+// errReplayDivergence marks a run whose scripted prefix went out of range
+// — the script was recorded against a different decision tree. The run is
+// aborted at the next checkpoint so it cannot corrupt the visited-state
+// bookkeeping.
+var errReplayDivergence = errors.New("explore: scripted prefix diverged from the decision tree")
 
 // decision records one branching point encountered during a run.
 type decision struct {
@@ -105,6 +107,12 @@ type scriptedDecider struct {
 	prefix       []int
 	preemptEvery int
 	trace        []decision
+	// diverged is set when a prefix choice was out of range for its
+	// decision point: the script no longer matches the tree, and every
+	// subsequent decision is off-script. The explorer surfaces it as a
+	// counted replay divergence instead of silently exploring the wrong
+	// schedule.
+	diverged bool
 }
 
 // SwitchBudget implements sched.Decider.
@@ -121,11 +129,13 @@ func (d *scriptedDecider) Pick(n int) int {
 	choice := i % n
 	if i < len(d.prefix) {
 		choice = d.prefix[i]
-		if choice >= n {
-			// Should not happen if replay is exact; clamp defensively so a
-			// broken script fails loudly via a different schedule rather
-			// than an index panic.
-			choice = n - 1
+		if choice >= n || choice < 0 {
+			// The script was recorded against a different tree. Fall back
+			// to the rotation default to keep the run progressing, and
+			// flag the divergence so the explorer aborts at the next
+			// checkpoint and discards the run's bookkeeping.
+			d.diverged = true
+			choice = i % n
 		}
 	}
 	d.trace = append(d.trace, decision{options: n, chosen: choice})
@@ -159,17 +169,32 @@ func Systematic(build func() sim.Program, o Options) (*Result, error) {
 	env := replay.NewEnv(o.InputSeed)
 	addrLog := replay.NewAddrLog()
 
-	// DFS over choice prefixes.
+	// DFS over choice prefixes. Caller-seeded prefixes (coverage-guided
+	// re-entry) are pushed above the free root so they explore first.
 	stack := [][]int{nil}
+	for i := len(o.SeedPrefixes) - 1; i >= 0; i-- {
+		stack = append(stack, o.SeedPrefixes[i])
+	}
 	for len(stack) > 0 && res.Runs < maxRuns {
 		prefix := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
 		d := &scriptedDecider{prefix: prefix, preemptEvery: o.PreemptEvery}
 		pruned := false
+		// The hook is the single place visited states are marked: it sees
+		// every non-final checkpoint of every run, whether the run later
+		// completes or is pruned, so the completed-run path below must not
+		// (and does not) re-mark anything — the two bookkeeping paths
+		// cannot drift apart.
 		hook := func(cp sim.Checkpoint) error {
-			if !o.Prune || cp.Label == "end" {
+			if cp.Label == "end" {
 				return nil
+			}
+			if d.diverged {
+				// Fail loudly at the first quiescent point after the
+				// script went off the rails; nothing from this run is
+				// marked visited.
+				return errReplayDivergence
 			}
 			// Checkpoints reached before the scripted prefix is consumed
 			// lie on a path shared with the parent schedule; their states
@@ -179,7 +204,7 @@ func Systematic(build func() sim.Program, o Options) (*Result, error) {
 				return nil
 			}
 			key := stateKey{cp.Ordinal, cp.SH}
-			if seen[key] {
+			if o.Prune && seen[key] {
 				pruned = true
 				return errPruned
 			}
@@ -189,7 +214,9 @@ func Systematic(build func() sim.Program, o Options) (*Result, error) {
 		m := sim.NewMachine(sim.Config{
 			Threads:        o.Threads,
 			Scheme:         scheme,
+			Hasher:         o.Hasher,
 			RoundFP:        o.RoundFP,
+			Ignore:         o.Ignore,
 			Decider:        d,
 			CheckpointHook: hook,
 			Env:            env,
@@ -198,14 +225,14 @@ func Systematic(build func() sim.Program, o Options) (*Result, error) {
 		r, err := m.Run(build())
 		res.Runs++
 		switch {
+		case d.diverged && (err == nil || errors.Is(err, errReplayDivergence)):
+			// A diverged run explored an unintended schedule: count it,
+			// mark nothing, branch on nothing.
+			res.ReplayDivergences++
+			continue
 		case err == nil:
 			res.CompletedRuns++
 			res.FinalStates[r.FinalSH()]++
-			for _, cp := range r.Checkpoints {
-				if cp.Label != "end" {
-					seen[stateKey{cp.Ordinal, cp.SH}] = true
-				}
-			}
 		case pruned && errors.Is(err, errPruned):
 			res.PrunedRuns++
 		default:

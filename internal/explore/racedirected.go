@@ -59,6 +59,11 @@ type raceDirector struct {
 	hits  int
 }
 
+// attach gives the director the machine whose scheduler it preempts
+// through (machineAware; the machine cannot exist before the config that
+// carries the listener).
+func (d *raceDirector) attach(m *sim.Machine) { d.m = m }
+
 func (d *raceDirector) hinted(pc uintptr) bool {
 	v, ok := d.pcs[pc]
 	if !ok {
@@ -120,11 +125,16 @@ func FindNondeterminism(build func() sim.Program, o Options, hints []RaceHint, m
 	var first ihash.Digest
 	for run := 0; run < maxRuns; run++ {
 		cfg := sim.Config{
-			Threads:        o.Threads,
-			ScheduleSeed:   int64(run) + 1,
+			Threads: o.Threads,
+			// Offset from the caller's base seed so repeated campaigns
+			// can explore fresh schedule sequences; the zero base
+			// reproduces the historical seeds 1, 2, 3, ...
+			ScheduleSeed:   o.ScheduleSeed + int64(run) + 1,
 			SwitchInterval: o.SwitchInterval,
 			Scheme:         scheme,
+			Hasher:         o.Hasher,
 			RoundFP:        o.RoundFP,
+			Ignore:         o.Ignore,
 			Env:            env,
 			AddrLog:        addrLog,
 		}

@@ -32,6 +32,7 @@ import (
 
 	"instantcheck/internal/apps"
 	"instantcheck/internal/core"
+	"instantcheck/internal/explore"
 	"instantcheck/internal/ihash"
 	"instantcheck/internal/sim"
 )
@@ -74,6 +75,30 @@ type JobSpec struct {
 	Isolate bool `json:"isolate,omitempty"`
 	// Small selects the reduced (unit-test scale) input.
 	Small bool `json:"small,omitempty"`
+	// Kind selects the job type: "check" (default) replays Runs schedules
+	// and compares their full hash vectors; "explore" hunts for a
+	// schedule-dependent divergence with a search strategy, stopping at
+	// the first one (Runs becomes the search budget).
+	Kind string `json:"kind,omitempty"`
+	// Strategy selects the exploration strategy for explore jobs:
+	// "uniform" (default), "pct", "race-directed" or "coverage".
+	Strategy string `json:"strategy,omitempty"`
+	// PCTDepth is the number of priority-change points for the pct
+	// strategy (0 selects the default).
+	PCTDepth int `json:"pct_depth,omitempty"`
+	// Bug seeds the workload's Figure 7 bug ("semantic", "atomicity" or
+	// "order"); the workload must host that bug kind. Valid for both job
+	// kinds — a check campaign on a seeded bug measures detection, an
+	// explore campaign measures runs-to-detect.
+	Bug string `json:"bug,omitempty"`
+}
+
+// bugs maps wire names to seeded bug kinds.
+var bugs = map[string]apps.BugKind{
+	"":          apps.BugNone,
+	"semantic":  apps.BugSemantic,
+	"atomicity": apps.BugAtomicity,
+	"order":     apps.BugOrder,
 }
 
 // schemes maps wire names to simulator schemes.
@@ -93,6 +118,26 @@ func (s JobSpec) Resolve() (core.Campaign, core.Builder, error) {
 	if app == nil {
 		return core.Campaign{}, nil, fmt.Errorf("farm: unknown workload %q (have %s)",
 			s.App, strings.Join(apps.Names(), ", "))
+	}
+	switch s.Kind {
+	case "", "check":
+		if s.Strategy != "" || s.PCTDepth != 0 {
+			return core.Campaign{}, nil, fmt.Errorf("farm: strategy options are only valid on explore jobs (kind=explore)")
+		}
+	case "explore":
+		if !knownStrategy(s.Strategy) {
+			return core.Campaign{}, nil, fmt.Errorf("farm: unknown strategy %q (want %s)",
+				s.Strategy, strings.Join(explore.StrategyNames(), ", "))
+		}
+	default:
+		return core.Campaign{}, nil, fmt.Errorf("farm: unknown job kind %q (want check or explore)", s.Kind)
+	}
+	bug, ok := bugs[s.Bug]
+	if !ok {
+		return core.Campaign{}, nil, fmt.Errorf("farm: unknown bug %q (want semantic, atomicity or order)", s.Bug)
+	}
+	if bug != apps.BugNone && bug != app.HostsBug {
+		return core.Campaign{}, nil, fmt.Errorf("farm: workload %q does not host a %s bug", s.App, bug)
 	}
 	scheme, ok := schemes[s.Scheme]
 	if !ok {
@@ -127,8 +172,22 @@ func (s JobSpec) Resolve() (core.Campaign, core.Builder, error) {
 	if err != nil {
 		return core.Campaign{}, nil, err
 	}
-	build := app.Builder(apps.Options{Threads: camp.Threads, Small: s.Small})
+	build := app.Builder(apps.Options{Threads: camp.Threads, Small: s.Small, Bug: bug})
 	return camp, build, nil
+}
+
+// knownStrategy reports whether name is a registered exploration strategy
+// (empty selects uniform).
+func knownStrategy(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, s := range explore.StrategyNames() {
+		if s == name {
+			return true
+		}
+	}
+	return false
 }
 
 // CheckpointStat is the wire projection of one checkpoint's cross-run
@@ -156,6 +215,34 @@ type Report struct {
 	ShapeMismatch  bool             `json:"shape_mismatch"`
 	OutputDistinct int              `json:"output_distinct"`
 	Stats          []CheckpointStat `json:"stats"`
+	// Explore carries the search outcome of explore jobs; nil on check
+	// jobs, keeping their report JSON byte-identical to earlier versions.
+	Explore *ExploreOutcome `json:"explore,omitempty"`
+}
+
+// ExploreOutcome is the wire projection of an exploration campaign's
+// result (explore.Outcome), durable in the store's "explored" record.
+type ExploreOutcome struct {
+	// Strategy is the schedule-generation strategy that ran.
+	Strategy string `json:"strategy"`
+	// Budget is the run budget the job was submitted with.
+	Budget int `json:"budget"`
+	// Runs is the number of schedules executed (the campaign stops at the
+	// first divergence).
+	Runs int `json:"runs"`
+	// Found is true when a schedule-dependent State-Hash divergence was
+	// detected.
+	Found bool `json:"found"`
+	// DivergedRun is the 1-based run of the first divergence (0 if none)
+	// — the runs-to-detect measurement.
+	DivergedRun int `json:"diverged_run,omitempty"`
+	// DistinctOutcomes counts distinct (checkpoint ordinal, State Hash)
+	// pairs seen across the campaign.
+	DistinctOutcomes int `json:"distinct_outcomes"`
+	// DistinctFinals counts distinct final State Hashes.
+	DistinctFinals int `json:"distinct_finals"`
+	// Hits counts directed preemptions (race-directed strategy).
+	Hits int `json:"hits,omitempty"`
 }
 
 // projectReport flattens a core report into the wire shape.

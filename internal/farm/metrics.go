@@ -59,6 +59,14 @@ type Metrics struct {
 	sbufFlushes   *obs.CounterVec // sharded
 	sbufDrained   *obs.CounterVec // sharded
 	sbufCoalesced *obs.CounterVec // sharded
+
+	// Exploration (explore jobs), per strategy. Explore runs are
+	// sequential within a job (strategies learn run to run), so plain
+	// vectors suffice.
+	exploreRuns        *obs.CounterVec
+	exploreDivergences *obs.CounterVec
+	exploreDistinct    *obs.CounterVec
+	exploreHints       *obs.CounterVec
 }
 
 // metricShards is the shard count for counters bumped by concurrent run
@@ -123,7 +131,35 @@ func newMetrics(reg *obs.Registry) *Metrics {
 			"Coalesced word updates hashed at drain time, by scheme.", "scheme", metricShards),
 		sbufCoalesced: reg.ShardedCounterVec("instantcheck_storebuffer_coalesced_total",
 			"Stores absorbed into a pending buffer entry instead of being hashed, by scheme.", "scheme", metricShards),
+		exploreRuns: reg.CounterVec("checkfarm_explore_runs_total",
+			"Schedules executed by explore jobs, by strategy.", "strategy"),
+		exploreDivergences: reg.CounterVec("checkfarm_explore_divergences_total",
+			"Explore campaigns that found a State-Hash divergence, by strategy.", "strategy"),
+		exploreDistinct: reg.CounterVec("checkfarm_explore_distinct_outcomes_total",
+			"Distinct (checkpoint, State Hash) outcomes observed by explore jobs, by strategy.", "strategy"),
+		exploreHints: reg.CounterVec("checkfarm_explore_hint_preemptions_total",
+			"Directed preemptions fired at hinted racy sites, by strategy.", "strategy"),
 	}
+}
+
+// observeExploreRun counts one executed exploration schedule.
+func (m *Metrics) observeExploreRun(strategy string) {
+	if m == nil {
+		return
+	}
+	m.exploreRuns.With(strategy).Inc()
+}
+
+// observeExplore flushes a finished exploration campaign's outcome.
+func (m *Metrics) observeExplore(out *ExploreOutcome) {
+	if m == nil {
+		return
+	}
+	if out.Found {
+		m.exploreDivergences.With(out.Strategy).Inc()
+	}
+	m.exploreDistinct.With(out.Strategy).Add(uint64(out.DistinctOutcomes))
+	m.exploreHints.With(out.Strategy).Add(uint64(out.Hits))
 }
 
 // observeRun flushes one executed run's simulator counters into the hash-

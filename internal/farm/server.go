@@ -152,7 +152,13 @@ func (s *Server) Resume() int {
 		switch jl.Final {
 		case "done":
 			job.State = JobDone
-			rep, err := reportFromLog(jl)
+			var rep *Report
+			var err error
+			if jl.Spec.Kind == "explore" {
+				rep, err = exploreReportFromLog(jl)
+			} else {
+				rep, err = reportFromLog(jl)
+			}
 			if err != nil {
 				// The log says done but cannot be reassembled: surface it.
 				job.State = JobFailed
@@ -252,14 +258,24 @@ func (s *Server) execute(ctx context.Context, job *Job) {
 	defer s.metrics.jobsRunning.Dec()
 	begun := time.Now()
 
-	prior := s.store.Job(job.ID)
-	rep, _, err := runJob(jobCtx, job.ID, spec, prior, s.metrics, s.opts.Dispatcher,
-		func(run int, res *sim.Result) error { return s.store.AppendRun(job.ID, run, res) },
-		func(done, total int) {
-			s.mu.Lock()
-			job.RunsDone, job.RunsTotal = done, total
-			s.mu.Unlock()
-		})
+	progress := func(done, total int) {
+		s.mu.Lock()
+		job.RunsDone, job.RunsTotal = done, total
+		s.mu.Unlock()
+	}
+	var rep *Report
+	var err error
+	if spec.Kind == "explore" {
+		// Explore jobs run in-process on this daemon even in fleet mode:
+		// the search is sequential (each run's schedule depends on the
+		// previous results), so there is nothing to fan out.
+		rep, err = runExploreJob(jobCtx, job.ID, spec, s.store, s.metrics, progress)
+	} else {
+		prior := s.store.Job(job.ID)
+		rep, _, err = runJob(jobCtx, job.ID, spec, prior, s.metrics, s.opts.Dispatcher,
+			func(run int, res *sim.Result) error { return s.store.AppendRun(job.ID, run, res) },
+			progress)
+	}
 
 	s.mu.Lock()
 	canceled := job.canceled

@@ -24,6 +24,7 @@ import (
 //	cp <id> <run> <ordinal> <sh> <label>   one checkpoint hash
 //	out <id> <run> <fd> <hash> <bytes>     one output-stream hash (§4.3)
 //	runend <id> <run> <checkpoints>        run committed
+//	explored <id> <outcome-json>           explore job's search outcome
 //	jobend <id> <status> <quoted-error>    job reached a terminal state
 //
 // A run counts only when its runend commit marker is present and its
@@ -64,6 +65,9 @@ type JobLog struct {
 	Final string
 	// Err carries the failure message for failed jobs.
 	Err string
+	// Explore is the recorded search outcome of a finished explore job
+	// (nil for check jobs and for explore jobs that never completed).
+	Explore *ExploreOutcome
 
 	runs map[int]*RunLog
 }
@@ -327,6 +331,12 @@ func (s *Store) indexLine(line string) {
 			return // commit marker without matching data: drop the run
 		}
 		rl.Done = true
+	case "explored":
+		var out ExploreOutcome
+		if err := json.Unmarshal([]byte(rest), &out); err != nil {
+			return
+		}
+		jl.Explore = &out
 	case "jobend":
 		f := strings.SplitN(rest, " ", 2)
 		jl.Final = f[0]
@@ -431,6 +441,29 @@ func (s *Store) AppendRun(id JobID, run int, res *sim.Result) error {
 	return nil
 }
 
+// SetExploreOutcome records an explore job's search outcome. Written
+// before the jobend marker, it is what Resume rebuilds a finished explore
+// job's report from — the run records alone cannot say at which run the
+// search stopped or why.
+func (s *Store) SetExploreOutcome(id JobID, out *ExploreOutcome) error {
+	outJSON, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jl := s.jobs[id]
+	if jl == nil {
+		return fmt.Errorf("farm: job %s not in store", id)
+	}
+	if err := s.appendLine(fmt.Sprintf("explored %s %s", id, outJSON)); err != nil {
+		return err
+	}
+	cp := *out
+	jl.Explore = &cp
+	return nil
+}
+
 // EndJob records a job's terminal status.
 func (s *Store) EndJob(id JobID, status, errMsg string) error {
 	s.mu.Lock()
@@ -477,6 +510,10 @@ func (s *Store) Jobs() []*JobLog {
 
 func (jl *JobLog) clone() *JobLog {
 	c := &JobLog{ID: jl.ID, Spec: jl.Spec, Final: jl.Final, Err: jl.Err, runs: make(map[int]*RunLog, len(jl.runs))}
+	if jl.Explore != nil {
+		e := *jl.Explore
+		c.Explore = &e
+	}
 	for run, rl := range jl.runs {
 		rc := &RunLog{
 			Checkpoints: append([]HashLogLine(nil), rl.Checkpoints...),

@@ -396,6 +396,56 @@ func TestFleetMatchesSingleNode(t *testing.T) {
 	}
 }
 
+// TestFleetExploreJobPassthrough checks the job-kind passthrough: an
+// explore job submitted to a fleet-mode daemon runs to completion on the
+// coordinator itself (the search is sequential, so nothing fans out to
+// the workers), alongside a fleet-dispatched check job on the same queue.
+func TestFleetExploreJobPassthrough(t *testing.T) {
+	d := startFleetDaemon(t, filepath.Join(t.TempDir(), "fleet.log"),
+		CoordinatorOptions{ShardSize: 3, LeaseTTL: 5 * time.Second, Logf: t.Logf})
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	d.addWorker(t, ctx, WorkerOptions{Name: "w0", BatchSize: 2})
+
+	spec := farm.JobSpec{
+		App:            "waterSP",
+		Kind:           "explore",
+		Strategy:       "race-directed",
+		Bug:            "atomicity",
+		Runs:           40,
+		Threads:        4,
+		InputSeed:      1,
+		SwitchInterval: 4000,
+		RoundFP:        true,
+		Small:          true,
+	}
+	job, err := d.srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job = d.waitJob(t, job.ID)
+	if job.State != farm.JobDone || job.Error != "" {
+		t.Fatalf("explore job on fleet daemon finished as %s: %s", job.State, job.Error)
+	}
+	rep, err := d.srv.Report(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Explore == nil || !rep.Explore.Found {
+		t.Fatalf("explore outcome = %+v", rep.Explore)
+	}
+
+	// The fleet still dispatches check jobs as before.
+	check, err := d.srv.Submit(fleetSpec("fft", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check = d.waitJob(t, check.ID)
+	if check.State != farm.JobDone || check.Error != "" {
+		t.Fatalf("check job finished as %s: %s", check.State, check.Error)
+	}
+}
+
 // TestFleetWorkerKillConvergence kills one worker mid-shard (its process
 // context dies without any farewell to the coordinator — the in-process
 // equivalent of SIGKILL) and checks that lease expiry re-dispatches the

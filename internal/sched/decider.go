@@ -17,6 +17,21 @@ type Decider interface {
 	Pick(n int) int
 }
 
+// TidPicker is an optional Decider extension for policies that need thread
+// identities rather than a candidate count — priority scheduling cannot be
+// expressed through Pick(n) because the runnable list's order is an
+// artifact of the scheduler's swap-removal bookkeeping. When a Decider
+// implements TidPicker, the scheduler calls PickTid instead of Pick at
+// every switch point with more than one candidate.
+type TidPicker interface {
+	// PickTid selects the next thread from runnable (never empty, len >= 2).
+	// cur is the thread that was running (-1 before the first dispatch);
+	// cur's presence in runnable distinguishes a forced preemption (cur
+	// still runnable) from a blocking switch (cur absent). runnable must
+	// not be retained or mutated.
+	PickTid(cur int, runnable []int) int
+}
+
 // randomDecider is the default seeded random policy.
 type randomDecider struct {
 	rng      *rand.Rand

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRandomDeciderBudgetMean pins the documented switch-budget
+// distribution: uniform on [1, 2*interval] with mean interval + 0.5 (the
+// doc comment on New states the same; this test keeps the two honest).
+func TestRandomDeciderBudgetMean(t *testing.T) {
+	const interval = 8
+	const samples = 200000
+	d := newRandomDecider(12345, interval)
+	sum := 0
+	for i := 0; i < samples; i++ {
+		b := d.SwitchBudget()
+		if b < 1 || b > 2*interval {
+			t.Fatalf("budget %d outside [1, %d]", b, 2*interval)
+		}
+		sum += b
+	}
+	mean := float64(sum) / samples
+	want := float64(interval) + 0.5
+	if mean < want-0.1 || mean > want+0.1 {
+		t.Errorf("mean budget %.3f, want %.1f +- 0.1", mean, want)
+	}
+}
+
+// pctTrace runs n threads of opsPer yields each under a PCT decider and
+// returns the completion order.
+func pctTrace(seed int64, n, d int, opsPer int) []string {
+	p := NewPCT(n, d, uint64(n*opsPer), seed)
+	s := NewControlled(n, p)
+	var order []string
+	_ = s.Run(func(tid int) {
+		for i := 0; i < opsPer; i++ {
+			s.Yield()
+		}
+		order = append(order, fmt.Sprintf("t%d", tid))
+	})
+	return order
+}
+
+// TestPCTStrictPriorityOrder checks that with no change points threads
+// complete in strict priority order: the highest-priority thread is never
+// preempted in favor of a lower one, so completion order equals priority
+// order.
+func TestPCTStrictPriorityOrder(t *testing.T) {
+	const n, opsPer = 4, 50 // short enough that the spin guard never trips
+	p := NewPCT(n, 0, uint64(n*opsPer), 7)
+	prio := append([]int(nil), p.prio...)
+	s := NewControlled(n, p)
+	var order []int
+	if err := s.Run(func(tid int) {
+		for i := 0; i < opsPer; i++ {
+			s.Yield()
+		}
+		order = append(order, tid)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(order); i++ {
+		if prio[order[i-1]] < prio[order[i]] {
+			t.Fatalf("completion order %v violates priority order (prio %v)", order, prio)
+		}
+	}
+}
+
+// TestPCTDeterministicAndSeedSensitive checks a PCT schedule is a pure
+// function of its seed, and that different seeds explore different
+// priority assignments.
+func TestPCTDeterministicAndSeedSensitive(t *testing.T) {
+	a := strings.Join(pctTrace(1, 4, 3, 40), ",")
+	if b := strings.Join(pctTrace(1, 4, 3, 40), ","); a != b {
+		t.Fatalf("same seed, different schedules: %s vs %s", a, b)
+	}
+	for seed := int64(2); seed < 10; seed++ {
+		if strings.Join(pctTrace(seed, 4, 3, 40), ",") != a {
+			return
+		}
+	}
+	t.Error("8 different seeds produced identical completion orders")
+}
+
+// TestPCTChangePointDemotes checks a priority-change point actually fires:
+// with d change points packed into a tiny operation budget the initially
+// highest-priority thread is demoted early, so some seed must produce a
+// completion order differing from the strict-priority (d=0) order.
+func TestPCTChangePointDemotes(t *testing.T) {
+	for seed := int64(1); seed < 20; seed++ {
+		base := strings.Join(pctTrace(seed, 3, 0, 60), ",")
+		// d=4 points in a 20-op budget: the leader is demoted almost
+		// immediately, handing the run to the second-priority thread.
+		p := NewPCT(3, 4, 20, seed)
+		s := NewControlled(3, p)
+		var order []string
+		_ = s.Run(func(tid int) {
+			for i := 0; i < 60; i++ {
+				s.Yield()
+			}
+			order = append(order, fmt.Sprintf("t%d", tid))
+		})
+		if strings.Join(order, ",") != base {
+			return
+		}
+	}
+	t.Error("change points never altered the completion order across 19 seeds")
+}
+
+// TestPCTSpinGuardLiveness checks the spin guard: one thread spins on a
+// flag only the other can set. Whatever the random priorities, the run
+// must terminate — under strict priority without the guard, a
+// high-priority spinner would livelock.
+func TestPCTSpinGuardLiveness(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p := NewPCT(2, 0, 1<<20, seed)
+		s := NewControlled(2, p)
+		flag := false
+		if err := s.Run(func(tid int) {
+			if tid == 0 {
+				for !flag {
+					s.Yield()
+				}
+			} else {
+				for i := 0; i < 100; i++ {
+					s.Yield()
+				}
+				flag = true
+			}
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !flag {
+			t.Fatalf("seed %d: run finished without the flag set", seed)
+		}
+	}
+}

@@ -75,10 +75,11 @@ type Scheduler struct {
 }
 
 // New returns a scheduler for n threads using the default seeded random
-// decider. interval is the mean number of operations between forced
-// preemptions; values <= 0 select the default of 8, which for the workload
-// kernels in this repository gives rich interleaving variety at modest
-// cost.
+// decider. interval sets the forced-preemption cadence: switch budgets are
+// drawn uniformly on [1, 2*interval], so the mean number of operations
+// between forced preemptions is interval + 0.5 (see randomDecider). Values
+// <= 0 select the default of 8, which for the workload kernels in this
+// repository gives rich interleaving variety at modest cost.
 func New(n int, seed int64, interval int) *Scheduler {
 	if interval <= 0 {
 		interval = 8
@@ -111,6 +112,7 @@ func NewControlled(n int, d Decider) *Scheduler {
 		yields:      make([]func(struct{}) bool, n),
 		stops:       make([]func(), n),
 		nextTid:     -1,
+		curTid:      -1, // no thread dispatched yet (see TidPicker)
 		runnable:    make([]int, 0, n),
 		runnablePos: make([]int, n),
 		blocked:     make([]string, n),
@@ -303,6 +305,9 @@ func (s *Scheduler) fail(err error) {
 func (s *Scheduler) pick() int {
 	if len(s.runnable) == 1 {
 		return s.runnable[0]
+	}
+	if tp, ok := s.decider.(TidPicker); ok {
+		return tp.PickTid(s.curTid, s.runnable)
 	}
 	return s.runnable[s.decider.Pick(len(s.runnable))]
 }

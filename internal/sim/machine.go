@@ -208,6 +208,7 @@ func (m *Machine) Run(p Program) (*Result, error) {
 		return nil, err
 	}
 	m.counters.FastLoadMisses, m.counters.FastStoreMisses = m.Mem.FastPathStats()
+	m.counters.SchedOps = m.sch.Ops()
 	res := &Result{
 		Checkpoints:    m.checkpoints,
 		Counters:       m.counters,

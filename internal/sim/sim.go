@@ -266,6 +266,10 @@ type Counters struct {
 	IgnoredWordChecks uint64
 	// Checkpoints is the number of determinism-checking points.
 	Checkpoints uint64
+	// SchedOps is the scheduler's Yield-point count for the worker phase —
+	// the operation clock preemption budgets are expressed in. Exploration
+	// strategies (PCT) calibrate their change-point placement against it.
+	SchedOps uint64
 	// OutputBytes is the total bytes written to the output stream.
 	OutputBytes uint64
 	// Allocs and Frees count dynamic allocation events.
