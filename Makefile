@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race race-farm bench bench-json bench-fleet-json bench-smoke obs-smoke fleet-smoke explore-smoke exploreeff build table1 table2 figures everything cover fmt vet lint
+.PHONY: all test race race-farm bench bench-json bench-fleet-json bench-detect-json bench-smoke obs-smoke fleet-smoke explore-smoke exploreeff build table1 table2 figures everything cover fmt vet lint
 
 all: test lint
 
@@ -30,8 +30,15 @@ bench:
 
 # One-iteration pass over every benchmark: proves the benchmark code still
 # compiles and runs. This is the CI smoke step — it measures nothing.
+# The detector lines are the A/B smoke for bench-detect-json: the epoch
+# fast-path pin (TestDetectionRunFastPaths) proves the default detector
+# takes its O(1) same-epoch short-circuits on a real run, and the
+# ICHECK_RACE_DETECTOR=vc pass proves the vector-clock baseline section
+# still runs end to end.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run='TestDetectionRunFastPaths' .
+	ICHECK_RACE_DETECTOR=vc $(GO) test -run=NONE -bench='DetectorRun/(barnes|fft)/' -benchtime=1x .
 
 # Observability smoke gate: boot a real checkd, run one small campaign,
 # scrape /metrics from the live daemon and fail on malformed exposition or
@@ -91,6 +98,35 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section baseline -note "make bench-json, store buffer off, benchtime=$(BENCHTIME), order-alternating rounds=$(BENCH_ROUNDS)" < $(BENCH_OUT).base.tmp
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section after -note "make bench-json, store buffer auto, benchtime=$(BENCHTIME), order-alternating rounds=$(BENCH_ROUNDS)" < $(BENCH_OUT).after.tmp
 	@rm -f $(BENCH_OUT).base.tmp $(BENCH_OUT).after.tmp
+
+# The detection-run A/B, recorded as the repo's BENCH_8 trajectory: every
+# workload's happens-before detection run (BenchmarkDetectorRun, 4 threads,
+# small inputs, fresh detector + machine per iteration) under the default
+# epoch detector ("after") against the identical run with the retained
+# vector-clock reference selected via ICHECK_RACE_DETECTOR=vc ("baseline").
+# The benchmark names are identical in both sections, so benchjson pairs
+# them directly; detector=off sub-benchmarks ride along in both sections as
+# the plain-check-run control — the env var is only read when a detector is
+# attached, so any baseline/after delta there bounds the measurement noise.
+# Rounds alternate section order for the same drift-cancelling reason as
+# bench-json above.
+DETECT_BENCH_OUT    ?= BENCH_8.json
+DETECT_BENCHTIME    ?= 10x
+DETECT_BENCH_ROUNDS ?= 4
+bench-detect-json:
+	@rm -f $(DETECT_BENCH_OUT).base.tmp $(DETECT_BENCH_OUT).after.tmp
+	for r in $$(seq $(DETECT_BENCH_ROUNDS)); do \
+		if [ $$((r % 2)) -eq 1 ]; then \
+			ICHECK_RACE_DETECTOR=vc $(GO) test -run=NONE -bench='DetectorRun' -benchtime=$(DETECT_BENCHTIME) . >> $(DETECT_BENCH_OUT).base.tmp || exit 1; \
+			$(GO) test -run=NONE -bench='DetectorRun' -benchtime=$(DETECT_BENCHTIME) . >> $(DETECT_BENCH_OUT).after.tmp || exit 1; \
+		else \
+			$(GO) test -run=NONE -bench='DetectorRun' -benchtime=$(DETECT_BENCHTIME) . >> $(DETECT_BENCH_OUT).after.tmp || exit 1; \
+			ICHECK_RACE_DETECTOR=vc $(GO) test -run=NONE -bench='DetectorRun' -benchtime=$(DETECT_BENCHTIME) . >> $(DETECT_BENCH_OUT).base.tmp || exit 1; \
+		fi; \
+	done
+	$(GO) run ./cmd/benchjson -out $(DETECT_BENCH_OUT) -section baseline -note "make bench-detect-json, ICHECK_RACE_DETECTOR=vc (vector-clock reference), benchtime=$(DETECT_BENCHTIME), order-alternating rounds=$(DETECT_BENCH_ROUNDS)" < $(DETECT_BENCH_OUT).base.tmp
+	$(GO) run ./cmd/benchjson -out $(DETECT_BENCH_OUT) -section after -note "make bench-detect-json, epoch detector (default), benchtime=$(DETECT_BENCHTIME), order-alternating rounds=$(DETECT_BENCH_ROUNDS)" < $(DETECT_BENCH_OUT).after.tmp
+	@rm -f $(DETECT_BENCH_OUT).base.tmp $(DETECT_BENCH_OUT).after.tmp
 
 # The fleet scaling benchmark, recorded as the repo's BENCH_6 trajectory:
 # the farm-throughput campaign's replay stage dispatched through a real

@@ -60,7 +60,7 @@ type (
 	RaceClassification = racefilter.Classification
 	// RaceConfig drives detection and classification runs.
 	RaceConfig = racefilter.Config
-	// RaceDetector is the vector-clock happens-before detector; attach it
+	// RaceDetector is the epoch-based happens-before detector; attach it
 	// to a run via MachineConfig.Events.
 	RaceDetector = racefilter.Detector
 	// AccessKind distinguishes the racing access pair.
@@ -77,8 +77,8 @@ const (
 	RaceWriteRead = racefilter.WriteRead
 )
 
-// NewRaceDetector returns a vector-clock race detector for nt worker
-// threads.
+// NewRaceDetector returns an epoch-based happens-before race detector
+// for nt worker threads.
 func NewRaceDetector(nt int) *RaceDetector { return racefilter.NewDetector(nt) }
 
 // DetectRaces runs the program under several schedules with the

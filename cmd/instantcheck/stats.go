@@ -50,6 +50,9 @@ func remoteStats(ctx context.Context, c *farm.Client, args []string, w io.Writer
 	if line := fleetLine(samples); line != "" {
 		fmt.Fprintln(w, line)
 	}
+	if line := detectionLine(samples); line != "" {
+		fmt.Fprintln(w, line)
+	}
 	for _, line := range exploreLines(samples) {
 		fmt.Fprintln(w, line)
 	}
@@ -131,6 +134,31 @@ func fleetLine(samples []obs.Sample) string {
 	return fmt.Sprintf("fleet: %s worker(s) live, shards %s leased / %s completed / %s expired, %s run(s) re-queued",
 		formatMetric(workers), formatMetric(leased), formatMetric(completed),
 		formatMetric(expired), formatMetric(requeued))
+}
+
+// detectionLine summarizes detection-run traffic: how many runs carried a
+// race-detector listener and the access-event volume those listeners
+// consumed. Empty before any detection run has executed.
+func detectionLine(samples []obs.Sample) string {
+	var runs, reads, writes float64
+	for _, s := range samples {
+		switch s.Name {
+		case "checkfarm_detection_runs_total":
+			runs = s.Value
+		case "instantcheck_detection_events_total":
+			switch s.Labels["kind"] {
+			case "read":
+				reads += s.Value
+			case "write":
+				writes += s.Value
+			}
+		}
+	}
+	if runs <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("detection: %s run(s), %s read / %s write events observed",
+		formatMetric(runs), formatMetric(reads), formatMetric(writes))
 }
 
 // exploreLines summarizes exploration traffic per strategy: schedules

@@ -46,6 +46,11 @@ instantcheck_storebuffer_drained_words_total{scheme="SW-InstantCheck_Inc"} 200
 # TYPE instantcheck_storebuffer_coalesced_total counter
 instantcheck_storebuffer_coalesced_total{scheme="HW-InstantCheck_Inc"} 2400
 instantcheck_storebuffer_coalesced_total{scheme="SW-InstantCheck_Inc"} 600
+# TYPE checkfarm_detection_runs_total counter
+checkfarm_detection_runs_total 2
+# TYPE instantcheck_detection_events_total counter
+instantcheck_detection_events_total{kind="read"} 5200
+instantcheck_detection_events_total{kind="write"} 1800
 # TYPE checkfarm_run_duration_seconds histogram
 checkfarm_run_duration_seconds_bucket{le="0.01"} 3
 checkfarm_run_duration_seconds_bucket{le="+Inf"} 4
@@ -72,6 +77,7 @@ func TestRemoteStatsRendering(t *testing.T) {
 		"checkfarm_run_duration_seconds", "count 4, mean 0.25",
 		"traverse delta: 150 of 4000 live pages rehashed (3.8% dirty)",
 		"store buffer: 3000 stores coalesced into 1000 drained words over 50 flushes (75.0% absorbed)",
+		"detection: 2 run(s), 5200 read / 1800 write events observed",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("stats output missing %q:\n%s", want, text)

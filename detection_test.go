@@ -1,0 +1,43 @@
+package instantcheck
+
+import (
+	"testing"
+
+	"instantcheck/internal/racefilter"
+	"instantcheck/internal/replay"
+	"instantcheck/internal/sim"
+)
+
+// TestDetectionRunFastPaths pins the epoch detector's O(1) same-epoch
+// short-circuits on a real workload: a barnes detection run must resolve
+// repeat accesses through both the read and the write fast path (not just
+// the slow path) and touch the shadow-page directory. make bench-smoke
+// runs this as its epoch-path gate; the benchmark itself only asserts the
+// detector saw accesses, because barrier-phased apps can legitimately
+// touch every word exactly once per epoch and never hit a fast path.
+func TestDetectionRunFastPaths(t *testing.T) {
+	app := WorkloadByName("barnes")
+	if app == nil {
+		t.Fatal("barnes workload missing")
+	}
+	build := app.Builder(WorkloadOptions{Threads: 4, Small: true})
+	det := racefilter.NewDetector(4)
+	m := sim.NewMachine(sim.Config{
+		Threads: 4, ScheduleSeed: 1, Scheme: sim.HWInc,
+		Env: replay.NewEnv(1), AddrLog: replay.NewAddrLog(),
+		Events: det,
+	})
+	if _, err := m.Run(build()); err != nil {
+		t.Fatal(err)
+	}
+	st := det.Stats()
+	if st.ReadFast == 0 || st.WriteFast == 0 {
+		t.Fatalf("fast paths not exercised: %+v", st)
+	}
+	if st.ReadSlow == 0 || st.WriteSlow == 0 {
+		t.Fatalf("slow paths not exercised: %+v", st)
+	}
+	if st.ShadowPages == 0 {
+		t.Fatalf("no shadow pages allocated: %+v", st)
+	}
+}

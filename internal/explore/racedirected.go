@@ -74,8 +74,15 @@ func (d *raceDirector) hinted(pc uintptr) bool {
 	return v
 }
 
-func (d *raceDirector) maybePreempt(tid int, pc uintptr) {
-	if tid < 0 || !d.hinted(pc) {
+func (d *raceDirector) maybePreempt(t *sim.Thread) {
+	tid := t.TID()
+	if tid < 0 {
+		return
+	}
+	// Directing is inherently per-site, so the director pulls the pc on
+	// every worker access; the pc -> hinted verdict is memoized so the
+	// site resolution itself runs once per distinct access site.
+	if !d.hinted(t.PC()) {
 		return
 	}
 	sch := d.m.Scheduler()
@@ -86,11 +93,11 @@ func (d *raceDirector) maybePreempt(tid int, pc uintptr) {
 	sch.Preempt(tid)
 }
 
-func (d *raceDirector) OnRead(tid int, addr uint64, pc uintptr)  { d.maybePreempt(tid, pc) }
-func (d *raceDirector) OnWrite(tid int, addr uint64, pc uintptr) { d.maybePreempt(tid, pc) }
-func (d *raceDirector) OnAcquire(int, *sched.Mutex)              {}
-func (d *raceDirector) OnRelease(int, *sched.Mutex)              {}
-func (d *raceDirector) OnBarrier(int)                            {}
+func (d *raceDirector) OnRead(t *sim.Thread, addr uint64)  { d.maybePreempt(t) }
+func (d *raceDirector) OnWrite(t *sim.Thread, addr uint64) { d.maybePreempt(t) }
+func (d *raceDirector) OnAcquire(int, *sched.Mutex)        {}
+func (d *raceDirector) OnRelease(int, *sched.Mutex)        {}
+func (d *raceDirector) OnBarrier(int)                      {}
 
 // DirectedResult summarizes a FindNondeterminism search.
 type DirectedResult struct {

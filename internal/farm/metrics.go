@@ -60,6 +60,12 @@ type Metrics struct {
 	sbufDrained   *obs.CounterVec // sharded
 	sbufCoalesced *obs.CounterVec // sharded
 
+	// Detection runs (a race-detector EventListener attached): how many
+	// runs paid per-access event dispatch, and how many access events the
+	// listeners consumed, by kind.
+	detectionRuns   *obs.ShardedCounter
+	detectionEvents *obs.CounterVec // sharded; kind = read | write
+
 	// Exploration (explore jobs), per strategy. Explore runs are
 	// sequential within a job (strategies learn run to run), so plain
 	// vectors suffice.
@@ -131,6 +137,10 @@ func newMetrics(reg *obs.Registry) *Metrics {
 			"Coalesced word updates hashed at drain time, by scheme.", "scheme", metricShards),
 		sbufCoalesced: reg.ShardedCounterVec("instantcheck_storebuffer_coalesced_total",
 			"Stores absorbed into a pending buffer entry instead of being hashed, by scheme.", "scheme", metricShards),
+		detectionRuns: reg.Sharded("checkfarm_detection_runs_total",
+			"Runs executed with a race-detector event listener attached (explore-job harvest runs).", metricShards),
+		detectionEvents: reg.ShardedCounterVec("instantcheck_detection_events_total",
+			"Access events delivered to attached race detectors, by access kind.", "kind", metricShards),
 		exploreRuns: reg.CounterVec("checkfarm_explore_runs_total",
 			"Schedules executed by explore jobs, by strategy.", "strategy"),
 		exploreDivergences: reg.CounterVec("checkfarm_explore_divergences_total",
@@ -194,6 +204,12 @@ func (m *Metrics) observeRun(scheme sim.Scheme, shard int, res *sim.Result, d ti
 	m.sbufFlushes.WithSharded(label).Add(shard, c.StoreBufferFlushes)
 	m.sbufDrained.WithSharded(label).Add(shard, c.StoreBufferDrainedWords)
 	m.sbufCoalesced.WithSharded(label).Add(shard, c.StoreBufferCoalesced)
+
+	if c.EventReads+c.EventWrites > 0 {
+		m.detectionRuns.Add(shard, 1)
+		m.detectionEvents.WithSharded("read").Add(shard, c.EventReads)
+		m.detectionEvents.WithSharded("write").Add(shard, c.EventWrites)
+	}
 }
 
 // storeAppend records one durable append's outcome; the store calls it from

@@ -9,9 +9,16 @@
 //
 // The package provides two pieces:
 //
-//   - Detector: a FastTrack-style vector-clock happens-before race
-//     detector, fed by the simulator's event stream (the baseline race
-//     detector InstantCheck would piggyback on);
+//   - Detector: a FastTrack-style epoch happens-before race detector over
+//     a dense shadow-page directory (see epoch.go and shadow.go), fed by
+//     the simulator's event stream — the baseline race detector
+//     InstantCheck would piggyback on. Same-epoch repeat accesses
+//     short-circuit in O(1) with no stack unwinding, so detection runs
+//     cost close to plain check runs. VCDetector (vcref.go) is the
+//     retained vector-clock reference implementation; the two are pinned
+//     observationally identical by differential fuzzing, and
+//     ICHECK_RACE_DETECTOR=vc selects the reference at run time (the A/B
+//     benchmark hook).
 //   - Classify: runs the program under many schedules and marks each
 //     detected racy address benign or harmful by whether any reachable
 //     final state disagrees at it — the paper's observation that "using
@@ -21,13 +28,13 @@ package racefilter
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"instantcheck/internal/mem"
 	"instantcheck/internal/replay"
-	"instantcheck/internal/sched"
 	"instantcheck/internal/sim"
 )
 
@@ -76,32 +83,35 @@ type Race struct {
 	// reports, so a dynamic race can be checked against the static
 	// candidate-pair report (the soundness cross-check).
 	SiteA, SiteB string
+	// pcA and pcB retain the raw access pcs behind SiteA/SiteB; the
+	// differential fuzzer compares them so attribution equivalence is
+	// pinned at pc granularity, not just file:line.
+	pcA, pcB uintptr
 }
 
-// epoch is a (thread, clock) pair, FastTrack-style, carrying the source
-// pc of the access for site attribution.
-type epoch struct {
-	tid   int
-	clock uint64
-	pc    uintptr
+// HB is the happens-before detector contract shared by the epoch detector
+// (the default) and the vector-clock reference: a sim event listener that
+// accumulates a deduplicated race set across everything it observes.
+type HB interface {
+	sim.EventListener
+	// Races returns the detected races sorted by address then kind.
+	Races() []Race
 }
 
-// addrState is the per-address detector metadata.
-type addrState struct {
-	write epoch
-	reads map[int]epoch // tid -> last read epoch
-}
+// EnvDetector is the environment variable that selects the detector
+// implementation process-wide: "vc" picks the vector-clock reference,
+// anything else (including unset) the epoch detector. It is the
+// interleaved-A/B hook, mirroring ICHECK_STORE_BUFFER and
+// ICHECK_TRAVERSE_DELTA.
+const EnvDetector = "ICHECK_RACE_DETECTOR"
 
-// Detector is a vector-clock happens-before race detector implementing
-// sim.EventListener. It is the baseline detector the paper's §6.1
-// discussion assumes; attach it via sim.Config.Events.
-type Detector struct {
-	nt      int
-	vc      [][]uint64
-	locks   map[*sched.Mutex][]uint64
-	addrs   map[uint64]*addrState
-	races   map[raceKey]*Race
-	started bool // workers have begun (setup happens-before all workers)
+// Selected returns a fresh detector of the implementation selected by
+// EnvDetector.
+func Selected(nt int) HB {
+	if os.Getenv(EnvDetector) == "vc" {
+		return NewVCDetector(nt)
+	}
+	return NewDetector(nt)
 }
 
 type raceKey struct {
@@ -109,139 +119,47 @@ type raceKey struct {
 	kind AccessKind
 }
 
-// NewDetector returns a detector for nt worker threads (plus the init
-// thread).
-func NewDetector(nt int) *Detector {
-	d := &Detector{
-		nt:    nt,
-		locks: make(map[*sched.Mutex][]uint64),
-		addrs: make(map[uint64]*addrState),
-		races: make(map[raceKey]*Race),
-	}
-	d.vc = make([][]uint64, nt+1)
-	for i := range d.vc {
-		d.vc[i] = make([]uint64, nt+1)
-		d.vc[i][i] = 1
-	}
-	return d
+// raceSet is the deduplicated race accumulator both detector
+// implementations report into: first report per (addr, kind) wins.
+type raceSet struct {
+	m map[raceKey]*Race
 }
 
-// slot maps a thread id (init = -1) to its vector-clock index.
-func (d *Detector) slot(tid int) int {
-	if tid < 0 {
-		return d.nt
-	}
-	return tid
-}
+func newRaceSet() raceSet { return raceSet{m: make(map[raceKey]*Race)} }
 
-// begin applies the program-start edge: Setup happens-before every worker.
-func (d *Detector) begin(tid int) {
-	if d.started || tid < 0 {
+func (rs *raceSet) report(addr uint64, kind AccessKind, a, b int, pcA, pcB uintptr) {
+	k := raceKey{addr, kind}
+	if _, dup := rs.m[k]; dup {
 		return
 	}
-	d.started = true
-	init := d.vc[d.nt]
-	for t := 0; t < d.nt; t++ {
-		join(d.vc[t], init)
+	rs.m[k] = &Race{
+		Addr: addr, Kind: kind, TidA: a, TidB: b,
+		SiteA: siteString(pcA), SiteB: siteString(pcB),
+		pcA: pcA, pcB: pcB,
 	}
 }
 
+// sorted returns the races sorted by address then kind.
+func (rs *raceSet) sorted() []Race {
+	out := make([]Race, 0, len(rs.m))
+	for _, r := range rs.m {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// join folds src into dst component-wise (vector-clock join).
 func join(dst, src []uint64) {
 	for i, v := range src {
 		if v > dst[i] {
 			dst[i] = v
 		}
-	}
-}
-
-// OnRead implements sim.EventListener.
-func (d *Detector) OnRead(tid int, addr uint64, pc uintptr) {
-	d.begin(tid)
-	s := d.slot(tid)
-	st := d.state(addr)
-	if st.write.clock > 0 && st.write.tid != s && st.write.clock > d.vc[s][st.write.tid] {
-		d.report(addr, WriteRead, st.write.tid, s, st.write.pc, pc)
-	}
-	if st.reads == nil {
-		st.reads = make(map[int]epoch)
-	}
-	st.reads[s] = epoch{tid: s, clock: d.vc[s][s], pc: pc}
-}
-
-// OnWrite implements sim.EventListener.
-func (d *Detector) OnWrite(tid int, addr uint64, pc uintptr) {
-	d.begin(tid)
-	s := d.slot(tid)
-	st := d.state(addr)
-	if st.write.clock > 0 && st.write.tid != s && st.write.clock > d.vc[s][st.write.tid] {
-		d.report(addr, WriteWrite, st.write.tid, s, st.write.pc, pc)
-	}
-	for rt, re := range st.reads {
-		if rt != s && re.clock > d.vc[s][rt] {
-			d.report(addr, ReadWrite, rt, s, re.pc, pc)
-		}
-	}
-	st.write = epoch{tid: s, clock: d.vc[s][s], pc: pc}
-	st.reads = nil
-}
-
-// OnAcquire implements sim.EventListener: acquiring a lock joins the
-// lock's release clock into the thread.
-func (d *Detector) OnAcquire(tid int, mu *sched.Mutex) {
-	d.begin(tid)
-	if lv := d.locks[mu]; lv != nil {
-		join(d.vc[d.slot(tid)], lv)
-	}
-}
-
-// OnRelease implements sim.EventListener: releasing publishes the thread's
-// clock on the lock and advances the thread's epoch.
-func (d *Detector) OnRelease(tid int, mu *sched.Mutex) {
-	d.begin(tid)
-	s := d.slot(tid)
-	lv := d.locks[mu]
-	if lv == nil {
-		lv = make([]uint64, d.nt+1)
-		d.locks[mu] = lv
-	}
-	copy(lv, d.vc[s])
-	d.vc[s][s]++
-}
-
-// OnBarrier implements sim.EventListener: a barrier episode totally orders
-// all threads — everyone joins everyone and advances.
-func (d *Detector) OnBarrier(ordinal int) {
-	var all []uint64
-	for t := 0; t < d.nt; t++ {
-		if all == nil {
-			all = append([]uint64(nil), d.vc[t]...)
-		} else {
-			join(all, d.vc[t])
-		}
-	}
-	for t := 0; t < d.nt; t++ {
-		join(d.vc[t], all)
-		d.vc[t][t]++
-	}
-}
-
-func (d *Detector) state(addr uint64) *addrState {
-	st := d.addrs[addr]
-	if st == nil {
-		st = &addrState{}
-		d.addrs[addr] = st
-	}
-	return st
-}
-
-func (d *Detector) report(addr uint64, kind AccessKind, a, b int, pcA, pcB uintptr) {
-	k := raceKey{addr, kind}
-	if _, dup := d.races[k]; dup {
-		return
-	}
-	d.races[k] = &Race{
-		Addr: addr, Kind: kind, TidA: a, TidB: b,
-		SiteA: siteString(pcA), SiteB: siteString(pcB),
 	}
 }
 
@@ -264,21 +182,6 @@ func shortPath(file string) string {
 		parts = parts[len(parts)-2:]
 	}
 	return strings.Join(parts, "/")
-}
-
-// Races returns the detected races sorted by address then kind.
-func (d *Detector) Races() []Race {
-	out := make([]Race, 0, len(d.races))
-	for _, r := range d.races {
-		out = append(out, *r)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Addr != out[j].Addr {
-			return out[i].Addr < out[j].Addr
-		}
-		return out[i].Kind < out[j].Kind
-	})
-	return out
 }
 
 // Config drives detection and classification runs.
@@ -311,7 +214,7 @@ func Detect(build func() sim.Program, cfg Config) ([]Race, error) {
 	addrLog := replay.NewAddrLog()
 	union := make(map[raceKey]Race)
 	for run := 0; run < cfg.runs(); run++ {
-		det := NewDetector(cfg.Threads)
+		det := Selected(cfg.Threads)
 		m := sim.NewMachine(sim.Config{
 			Threads:      cfg.Threads,
 			ScheduleSeed: cfg.BaseSeed + int64(run),

@@ -1,0 +1,90 @@
+package racefilter
+
+// Shadow memory for the epoch detector: a dense two-level page directory
+// mirroring internal/mem's address-space layout (4 KiB pages of 512
+// 8-byte words, 128 pages per directory leaf), so a shadow-word lookup is
+// the same three-shift walk the memory engine does — no per-access map
+// hashing — and the one-entry last-page cache turns the common same-page
+// access run into a single compare plus an index.
+//
+// Shadow pages are allocated on first touch. One shadow word is ~7 machine
+// words, so the shadow overhead tracks the program's touched footprint,
+// not its address-space extent.
+
+const (
+	// shadowPageShift is log2 of the simulated page size in bytes
+	// (mem.PageWords × mem.WordSize = 512 × 8 = 4096).
+	shadowPageShift = 12
+	shadowPageWords = 512
+	shadowLeafBits  = 7
+	shadowLeafSize  = 1 << shadowLeafBits
+)
+
+// readEntry is one reader's last read of a word: the packed (slot, clock)
+// epoch of the read and the source pc of the first read in that epoch.
+// A zero epoch marks an empty entry (clocks start at 1, so no live read
+// packs to zero).
+type readEntry struct {
+	epoch uint64
+	pc    uintptr
+}
+
+// shadowWord is the per-address detector metadata. The inline two-entry
+// read set covers the overwhelmingly common cases (thread-private words
+// and producer/consumer pairs); words genuinely read by more threads
+// between writes spill to a per-word map, and any write clears the read
+// set back to the inline representation.
+type shadowWord struct {
+	write   uint64  // packed epoch of the last write; 0 = never written
+	writePC uintptr // source pc of the first write in that epoch
+	reads   [2]readEntry
+	spill   map[int]readEntry // slot -> entry; non-nil only while inflated
+}
+
+type shadowPage [shadowPageWords]shadowWord
+
+type shadowLeaf struct {
+	pages [shadowLeafSize]*shadowPage
+}
+
+// shadowDir is the two-level shadow-page directory plus a one-entry
+// last-page cache (the same idiom as the memory engine's fast window).
+type shadowDir struct {
+	root   []*shadowLeaf
+	lastPN uint64
+	lastPg *shadowPage
+	pages  uint64 // shadow pages allocated (stats)
+}
+
+// word returns the shadow word for addr, allocating directory nodes and
+// the page on first touch.
+func (s *shadowDir) word(addr uint64) *shadowWord {
+	pn := addr >> shadowPageShift
+	if pn == s.lastPN && s.lastPg != nil {
+		return &s.lastPg[(addr>>3)&(shadowPageWords-1)]
+	}
+	return s.wordSlow(addr, pn)
+}
+
+func (s *shadowDir) wordSlow(addr, pn uint64) *shadowWord {
+	li := pn >> shadowLeafBits
+	if uint64(len(s.root)) <= li {
+		grown := make([]*shadowLeaf, li+1)
+		copy(grown, s.root)
+		s.root = grown
+	}
+	lf := s.root[li]
+	if lf == nil {
+		lf = &shadowLeaf{}
+		s.root[li] = lf
+	}
+	pi := pn & (shadowLeafSize - 1)
+	pg := lf.pages[pi]
+	if pg == nil {
+		pg = &shadowPage{}
+		lf.pages[pi] = pg
+		s.pages++
+	}
+	s.lastPN, s.lastPg = pn, pg
+	return &pg[(addr>>3)&(shadowPageWords-1)]
+}

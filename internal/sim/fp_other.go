@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package sim
+
+// fpchain is the no-op stub for architectures without the assembly
+// frame-pointer walker; returning 0 frames makes Thread.PC fall back to
+// the runtime.Callers-based unwind.
+func fpchain(buf *[8]uintptr) int32 { return 0 }

@@ -198,19 +198,21 @@ const (
 
 // EventListener observes a run's memory accesses and synchronization, the
 // event feed a dynamic race detector consumes (paper §6.1). The init
-// (setup) thread reports tid -1. Checker-internal writes (the zeroing of
-// freed blocks) are not reported; they are not program accesses.
+// (setup) thread reports t.TID() == -1. Checker-internal writes (the
+// zeroing of freed blocks) are not reported; they are not program accesses.
 //
-// pc identifies the program source site of the access: the caller's
-// program counter, resolvable to a file:line with SitePos. It is captured
-// only when a listener is attached, so unobserved runs pay nothing, and it
-// lets dynamic findings (races, preemption hints) be attributed to the
-// same source sites the static analyzers report.
+// Access events carry the reporting *Thread rather than a captured program
+// counter: the source site of the access is pulled, not pushed. A listener
+// that needs it calls t.PC() — a stack unwind — from inside the callback,
+// and does so only on its slow path (a first access in an epoch, an actual
+// race report), so the common repeat access pays nothing for attribution.
+// t.PC() resolves to a file:line with SitePos, the same source sites the
+// static analyzers report.
 type EventListener interface {
-	// OnRead reports a data load from the source site identified by pc.
-	OnRead(tid int, addr uint64, pc uintptr)
-	// OnWrite reports a data store from the source site identified by pc.
-	OnWrite(tid int, addr uint64, pc uintptr)
+	// OnRead reports a data load by t; t.PC() identifies the source site.
+	OnRead(t *Thread, addr uint64)
+	// OnWrite reports a data store by t; t.PC() identifies the source site.
+	OnWrite(t *Thread, addr uint64)
 	// OnAcquire reports a mutex acquisition (after the lock is held).
 	OnAcquire(tid int, mu *sched.Mutex)
 	// OnRelease reports a mutex release (before the lock is dropped).
@@ -322,6 +324,12 @@ type Counters struct {
 	StoreBufferDrainedWords uint64
 	StoreBufferCoalesced    uint64
 	StoreBufferEvictions    uint64
+	// EventReads and EventWrites count the access events delivered to an
+	// attached EventListener — the per-access volume of a detection run.
+	// Both stay zero when Config.Events is nil, so the farm can tell
+	// detection runs from plain check runs by these alone.
+	EventReads  uint64
+	EventWrites uint64
 }
 
 // OutputStream is one file descriptor's hashed output (§4.3).

@@ -3,6 +3,8 @@ package sim
 import (
 	"math"
 	"runtime"
+	"strings"
+	"sync"
 
 	"instantcheck/internal/mem"
 	"instantcheck/internal/mhm"
@@ -60,12 +62,22 @@ func (t *Thread) Compute(n int) {
 }
 
 // Load reads the integer word at addr.
+//
+// The four data accessors (Load, LoadF, Store, StoreF) are noinline so the
+// program/accessor boundary is always a physical stack frame: the frame-
+// pointer walk behind Thread.PC and the runtime.Callers unwind behind
+// Thread.CallersPC then resolve identical access pcs. An inlined accessor
+// would exist only as an inline-table entry, which Callers expands into a
+// synthetic logical frame the raw walk cannot see.
+//
+//go:noinline
 func (t *Thread) Load(addr uint64) uint64 {
 	t.charge(CostLoad)
 	t.ctr.Loads++
 	t.yield()
 	if ev := t.ev; ev != nil {
-		ev.OnRead(t.tid, addr, callerPC())
+		t.ctr.EventReads++
+		ev.OnRead(t, addr)
 	}
 	if v, ok := t.mm.LoadFast(addr); ok {
 		return v
@@ -74,12 +86,15 @@ func (t *Thread) Load(addr uint64) uint64 {
 }
 
 // LoadF reads the float64 at addr.
+//
+//go:noinline
 func (t *Thread) LoadF(addr uint64) float64 {
 	t.charge(CostLoad)
 	t.ctr.Loads++
 	t.yield()
 	if ev := t.ev; ev != nil {
-		ev.OnRead(t.tid, addr, callerPC())
+		t.ctr.EventReads++
+		ev.OnRead(t, addr)
 	}
 	if v, ok := t.mm.LoadFast(addr); ok {
 		return math.Float64frombits(v)
@@ -87,16 +102,99 @@ func (t *Thread) LoadF(addr uint64) float64 {
 	return math.Float64frombits(t.mm.Load(addr))
 }
 
-// callerPC returns the pc of the instrumented call site two frames up:
-// the program line that invoked the Thread accessor callerPC sits in. It
-// runs only when an EventListener is attached.
-func callerPC() uintptr {
-	var pcs [1]uintptr
-	// Skip runtime.Callers, callerPC, and the Thread accessor itself.
-	if runtime.Callers(3, pcs[:]) == 0 {
-		return 0
+// accessorFrames memoizes, per return-address pc, whether the frame belongs
+// to a Thread accessor (the "instantcheck/internal/sim.(*Thread)." methods).
+// PC consults it on every unwind; symbolization runs once per distinct pc.
+var accessorFrames sync.Map // uintptr -> bool
+
+func isAccessorFrame(pc uintptr) bool {
+	if v, ok := accessorFrames.Load(pc); ok {
+		return v.(bool)
 	}
-	return pcs[0]
+	// pc is a return address: the call instruction lives at pc-1 (and the
+	// subtraction also keeps a tail call attributed to the caller's frame).
+	const prefix = "instantcheck/internal/sim.(*Thread)."
+	fn := runtime.FuncForPC(pc - 1)
+	name := ""
+	if fn != nil {
+		name = fn.Name()
+	}
+	// The unwinders themselves are Thread methods but not accessors: PC
+	// shows up as a frame when it falls back to CallersPC, and counting it
+	// as part of the accessor run would truncate the scan.
+	in := strings.HasPrefix(name, prefix) && name != prefix+"PC" && name != prefix+"CallersPC"
+	accessorFrames.Store(pc, in)
+	return in
+}
+
+// PC returns the program counter of the source line that invoked the
+// Thread accessor currently reporting an event: the instrumented access
+// site. Listeners pull it lazily — only on their slow path (first access
+// of an epoch, or assembling a race report) — so the common same-epoch
+// access pays no stack unwinding at all. Resolve the result to file:line
+// with SitePos.
+//
+// On amd64 the capture walks the frame-pointer chain directly (a handful
+// of loads, the execution tracer's unwinding technique) instead of
+// calling runtime.Callers, which decodes pcvalue and inline tables for
+// every frame it visits and dominates the cost of a detection run.
+// Frame-pointer capture returns raw return addresses; the scan below
+// never relies on inline expansion, and the resulting pc is the same
+// return address runtime.Callers reports, so attribution is identical.
+// If the chain is broken or too deep, or on other architectures, PC
+// falls back to CallersPC.
+func (t *Thread) PC() uintptr {
+	var pcs [8]uintptr
+	n := int(fpchain(&pcs))
+	if p := scanAccessors(pcs[:n]); p != 0 {
+		return p
+	}
+	return t.CallersPC()
+}
+
+// CallersPC is the runtime.Callers-based unwind behind PC: the capture
+// cost every instrumented access paid before the epoch detector (one
+// traceback with inline expansion per access). The vector-clock
+// reference detector pulls through it directly so the BENCH_8 A/B
+// baseline keeps the original architecture's per-access cost; it also
+// backstops PC when frame pointers cannot be walked. Both captures
+// return the same pc for the same access.
+func (t *Thread) CallersPC() uintptr {
+	var pcs [8]uintptr
+	n := runtime.Callers(2, pcs[:])
+	return scanAccessors(pcs[:n])
+}
+
+// scanAccessors finds the outermost contiguous run of Thread-accessor
+// frames (Load, Store, store, ...; none of them are inlinable) and
+// returns the frame just above it — the instrumented access site — so
+// the unwind works at any call depth inside the listener. Eight frames
+// always cover the listener's own depth (at most a handful of detector
+// frames below the accessor run) plus the access site.
+func scanAccessors(pcs []uintptr) uintptr {
+	last := -1
+	for i, pc := range pcs {
+		if isAccessorFrame(pc) {
+			last = i
+		} else if last >= 0 {
+			break
+		}
+	}
+	if last >= 0 && last+1 < len(pcs) {
+		return pcs[last+1]
+	}
+	return 0
+}
+
+// sitePosCache memoizes SitePos's pc→(file, line) resolution: report
+// assembly and the static/dynamic cross-check resolve the same handful of
+// access sites over and over, and runtime.CallersFrames both allocates and
+// walks the inlining tables on every call.
+var sitePosCache sync.Map // uintptr -> sitePosEntry
+
+type sitePosEntry struct {
+	file string
+	line int
 }
 
 // SitePos resolves an access pc reported to an EventListener into the
@@ -105,7 +203,12 @@ func SitePos(pc uintptr) (file string, line int) {
 	if pc == 0 {
 		return "", 0
 	}
+	if v, ok := sitePosCache.Load(pc); ok {
+		e := v.(sitePosEntry)
+		return e.file, e.line
+	}
 	frame, _ := runtime.CallersFrames([]uintptr{pc}).Next()
+	sitePosCache.Store(pc, sitePosEntry{frame.File, frame.Line})
 	return frame.File, frame.Line
 }
 
@@ -114,25 +217,21 @@ func SitePos(pc uintptr) (file string, line int) {
 // the simulator enforces that the instruction kind matches the allocation's
 // type annotation so the incremental and traversal schemes always round the
 // same words.
+//
+//go:noinline
 func (t *Thread) Store(addr, value uint64) {
-	var pc uintptr
-	if t.ev != nil {
-		pc = callerPC()
-	}
-	t.store(addr, value, false, pc)
+	t.store(addr, value, false)
 }
 
 // StoreF writes a float64 at addr; the address must belong to a KindFloat
 // block. FP stores are the ones routed through the MHM round-off unit.
+//
+//go:noinline
 func (t *Thread) StoreF(addr uint64, value float64) {
-	var pc uintptr
-	if t.ev != nil {
-		pc = callerPC()
-	}
-	t.store(addr, math.Float64bits(value), true, pc)
+	t.store(addr, math.Float64bits(value), true)
 }
 
-func (t *Thread) store(addr, value uint64, isFP bool, pc uintptr) {
+func (t *Thread) store(addr, value uint64, isFP bool) {
 	t.charge(CostStore)
 	t.ctr.Stores++
 	if isFP {
@@ -140,7 +239,8 @@ func (t *Thread) store(addr, value uint64, isFP bool, pc uintptr) {
 	}
 	t.checkKind(addr, isFP)
 	if ev := t.ev; ev != nil {
-		ev.OnWrite(t.tid, addr, pc)
+		t.ctr.EventWrites++
+		ev.OnWrite(t, addr)
 	}
 	switch t.m.cfg.Scheme {
 	case SWIncNonAtomic:

@@ -214,3 +214,60 @@ func TestCheckpointHookAbort(t *testing.T) {
 type errSentinel struct{}
 
 func (errSentinel) Error() string { return "sentinel" }
+
+// pcProbe asserts, on every data event, that the frame-pointer unwind
+// (Thread.PC) and the runtime.Callers unwind (Thread.CallersPC) resolve
+// the same access pc — the property that lets the epoch detector pull
+// through the cheap walk while the reference detector keeps the
+// baseline's capture without diverging on attribution.
+type pcProbe struct {
+	t   *testing.T
+	pcs []uintptr
+}
+
+func (p *pcProbe) check(th *Thread) {
+	fast, slow := th.PC(), th.CallersPC()
+	if fast == 0 || fast != slow {
+		p.t.Errorf("PC() = %#x, CallersPC() = %#x; want equal and nonzero", fast, slow)
+	}
+	p.pcs = append(p.pcs, fast)
+}
+
+func (p *pcProbe) OnRead(th *Thread, addr uint64)     { p.check(th) }
+func (p *pcProbe) OnWrite(th *Thread, addr uint64)    { p.check(th) }
+func (p *pcProbe) OnAcquire(tid int, mu *sched.Mutex) {}
+func (p *pcProbe) OnRelease(tid int, mu *sched.Mutex) {}
+func (p *pcProbe) OnBarrier(ordinal int)              {}
+
+// TestPCUnwindersAgree pins the two pc-capture paths against each other
+// through real accessor frames (Load, Store, LoadF, StoreF, from both the
+// setup thread and workers) and checks the pcs resolve into this file.
+func TestPCUnwindersAgree(t *testing.T) {
+	probe := &pcProbe{t: t}
+	var f uint64
+	p := &funcProg{nt: 2,
+		setup: func(th *Thread) {
+			w := th.AllocStatic("static:w", 2, mem.KindWord)
+			f = th.AllocStatic("static:f", 2, mem.KindFloat)
+			th.Store(w, 7)
+			_ = th.Load(w)
+		},
+		worker: func(th *Thread) {
+			base := f + uint64(th.TID())*8
+			th.StoreF(base, 1.5)
+			_ = th.LoadF(base)
+		},
+	}
+	m := NewMachine(Config{Threads: 2, ScheduleSeed: 1, Scheme: HWInc, Events: probe})
+	if _, err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.pcs) != 6 {
+		t.Fatalf("%d events observed, want 6", len(probe.pcs))
+	}
+	for _, pc := range probe.pcs {
+		if file, line := SitePos(pc); file == "" || line == 0 {
+			t.Errorf("pc %#x does not resolve to a source position", pc)
+		}
+	}
+}
